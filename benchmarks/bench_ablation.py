@@ -1,0 +1,25 @@
+"""Ablations — the design choices DESIGN.md calls out.
+
+Lusail variants on a mixed workload: LADE off (exclusive groups or
+per-triple decomposition), delaying off, Chauvenet off, greedy join
+order, source refinement off.  Expected shape: the full configuration
+ships the least data; per-triple decomposition is the worst.
+"""
+
+from repro.harness import experiments
+
+from conftest import dicts_to_table, emit
+
+
+def test_ablation(benchmark):
+    rows = benchmark.pedantic(experiments.ablation, rounds=1, iterations=1)
+    emit("ablation", dicts_to_table(rows))
+
+    def total(variant, field):
+        return sum(r[field] for r in rows if r["variant"] == variant and r["status"] == "ok")
+
+    full_rows = total("full", "rows_shipped")
+    per_triple_rows = total("no-lade (per-triple)", "rows_shipped")
+    assert full_rows <= per_triple_rows
+    ok = {r["variant"] for r in rows if r["status"] == "ok"}
+    assert "full" in ok

@@ -1,0 +1,42 @@
+"""Extra baseline: ANAPSID-style adaptive engine (paper related work).
+
+Not part of the paper's figures; included because the paper's Sec VII
+discusses ANAPSID as the adaptive index-based alternative.  Expected
+shape: very few requests (fully parallel, catalog-based) but more rows
+shipped than Lusail on selective queries, with competitive times only
+when the full extents are small.
+"""
+
+from repro.baselines import AnapsidEngine
+from repro.core.engine import LusailEngine
+from repro.datasets import lubm
+from repro.harness import experiments, results_by_query, run_matrix
+
+from conftest import emit
+
+
+def test_extra_baseline_anapsid(benchmark):
+    federation = experiments.lubm_federation(4)
+
+    def run():
+        engines = {
+            "Lusail": LusailEngine(federation),
+            "ANAPSID": AnapsidEngine(federation),
+        }
+        return run_matrix(engines, lubm.queries())
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [results_by_query(results, ("Lusail", "ANAPSID"))]
+    lines.append("")
+    for result in results:
+        lines.append(
+            f"{result.engine:8s} {result.query}: {result.requests:4d} requests, "
+            f"{result.rows_shipped:6d} rows shipped [{result.status}]"
+        )
+    emit("extra_baseline_anapsid", "\n".join(lines))
+
+    anapsid = {r.query: r for r in results if r.engine == "ANAPSID"}
+    lusail = {r.query: r for r in results if r.engine == "Lusail"}
+    assert all(r.ok for r in anapsid.values())
+    # ANAPSID ships full extents where Lusail's delayed bound joins don't.
+    assert anapsid["Q4"].rows_shipped > lusail["Q4"].rows_shipped

@@ -1,0 +1,24 @@
+"""Paper Fig 3 — FedX's sensitivity to the number of endpoints.
+
+Regenerates both series: the QFed Drug query over 1-4 endpoints and
+LUBM Q2 over 2-16 universities.  Expected shape: response time and the
+number of remote requests grow together, roughly linearly — remote
+requests are the scalability bottleneck the paper motivates Lusail with.
+"""
+
+from repro.harness import experiments
+
+from conftest import dicts_to_table, emit
+
+
+def test_fig03_fedx_sensitivity(benchmark):
+    rows = benchmark.pedantic(experiments.fig03_fedx_sensitivity, rounds=1, iterations=1)
+    emit("fig03_fedx_sensitivity", dicts_to_table(rows))
+
+    lubm_rows = [r for r in rows if r["query"] == "LUBM-Q2"]
+    # Shape assertions: monotone growth of requests and runtime.
+    requests = [r["requests"] for r in lubm_rows]
+    times = [r["virtual_ms"] for r in lubm_rows]
+    assert requests == sorted(requests)
+    assert times == sorted(times)
+    assert requests[-1] > requests[0] * 10  # super-linear request blow-up

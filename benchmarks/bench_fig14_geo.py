@@ -1,0 +1,36 @@
+"""Paper Fig 14 — geo-distributed federation on 7 cloud regions.
+
+Expected shape: WAN latency inflates every system, but Lusail's few
+parallel requests keep it within a small factor of its LAN times while
+the bound-join engines blow up or time out; Lusail answers every query.
+"""
+
+import pytest
+
+from repro.harness import ENGINE_ORDER, experiments, results_by_query
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("category", ["C", "B"])
+def test_fig14ab_geo_largerdf(benchmark, category):
+    results = benchmark.pedantic(
+        experiments.fig14_geo_largerdf, rounds=1, iterations=1, args=(category,)
+    )
+    emit(f"fig14_geo_largerdf_{category}", results_by_query(results, ENGINE_ORDER))
+
+    lusail = [r for r in results if r.engine == "Lusail"]
+    assert all(r.ok for r in lusail), [r.query for r in lusail if not r.ok]
+
+
+def test_fig14c_geo_lubm(benchmark):
+    results = benchmark.pedantic(experiments.fig14c_geo_lubm, rounds=1, iterations=1)
+    emit("fig14c_geo_lubm", results_by_query(results, ENGINE_ORDER))
+
+    lusail = {r.query: r for r in results if r.engine == "Lusail"}
+    fedx = {r.query: r for r in results if r.engine == "FedX"}
+    assert all(r.ok for r in lusail.values())
+    # The gap widens on WAN: FedX pays latency per serial bound-join block.
+    for query in ("Q1", "Q2", "Q4"):
+        if fedx[query].ok:
+            assert lusail[query].virtual_ms * 10 < fedx[query].virtual_ms, query

@@ -1,0 +1,23 @@
+"""Paper Table I — dataset statistics for every benchmark endpoint."""
+
+from repro.harness import experiments
+
+from conftest import dicts_to_table, emit
+
+
+def test_table01_datasets(benchmark):
+    rows = benchmark.pedantic(experiments.table01_datasets, rounds=1, iterations=1)
+    emit("table01_datasets", dicts_to_table(rows))
+
+    totals = {r["benchmark"]: r["triples"] for r in rows if r["endpoint"] == "TOTAL"}
+    # Relative sizes follow the paper: LargeRDFBench is the largest corpus.
+    assert totals["LargeRDFBench"] > totals["QFed"]
+    by_ep = {
+        (r["benchmark"], r["endpoint"]): r["triples"]
+        for r in rows
+        if r["endpoint"] != "TOTAL"
+    }
+    # The TCGA endpoints dominate, as in the paper's Table I.
+    assert by_ep[("LargeRDFBench", "tcga-m")] == max(
+        v for (b, e), v in by_ep.items() if b == "LargeRDFBench"
+    )

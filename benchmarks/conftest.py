@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper table/figure: it runs the
+corresponding :mod:`repro.harness.experiments` function once under
+pytest-benchmark, prints the series the paper reports, and persists the
+text to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def dicts_to_table(rows: list[dict]) -> str:
+    from repro.harness.reporting import format_table
+
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    body = [
+        [f"{row[h]:.1f}" if isinstance(row[h], float) else row[h] for h in headers]
+        for row in rows
+    ]
+    return format_table(headers, body)

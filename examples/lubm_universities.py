@@ -1,0 +1,49 @@
+"""Compare Lusail against FedX / HiBISCuS / SPLENDID on LUBM universities.
+
+Generates a decentralized LUBM federation (one endpoint per university)
+and runs the paper's four queries (Sec VI-C) on every engine, printing
+response times, request counts, and shipped rows — a miniature of the
+paper's Fig 12.
+
+Run:  python examples/lubm_universities.py [universities]
+"""
+
+import sys
+
+from repro.datasets import lubm
+from repro.harness import ENGINE_ORDER, make_engines, results_by_query, run_matrix
+
+
+def main() -> None:
+    universities = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    federation = lubm.build_federation(universities, profile=lubm.BENCH_PROFILE)
+    print(
+        f"LUBM federation: {universities} universities, "
+        f"{federation.total_triples()} triples total"
+    )
+
+    engines = make_engines(federation)
+    results = run_matrix(engines, lubm.queries())
+
+    print("\nResponse time (virtual ms) per engine:")
+    print(results_by_query(results, ENGINE_ORDER))
+
+    print("\nRemote requests and shipped rows:")
+    for result in results:
+        print(
+            f"  {result.engine:9s} {result.query}: {result.requests:5d} requests, "
+            f"{result.rows_shipped:7d} rows shipped, {result.result_rows} results "
+            f"[{result.status}]"
+        )
+
+    lusail_q4 = next(r for r in results if r.engine == "Lusail" and r.query == "Q4")
+    fedx_q4 = next(r for r in results if r.engine == "FedX" and r.query == "Q4")
+    if lusail_q4.ok and fedx_q4.ok:
+        print(
+            f"\nQ4 speedup (Lusail vs FedX): "
+            f"{fedx_q4.virtual_ms / lusail_q4.virtual_ms:.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

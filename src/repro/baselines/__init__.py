@@ -1,0 +1,31 @@
+"""Baseline federated engines: FedX, SPLENDID, HiBISCuS."""
+
+from repro.baselines.bound_join import DEFAULT_BLOCK_SIZE, bound_join, evaluate_operand
+from repro.baselines.fedx import FedXConfig, FedXEngine
+from repro.baselines.hibiscus import AuthoritySummary, HibiscusEngine, build_authority_index
+from repro.baselines.operands import Operand, build_operands, order_operands
+from repro.baselines.splendid import SplendidConfig, SplendidEngine
+from repro.baselines.void_index import EndpointVoid, VoidIndex, build_void_index
+
+__all__ = [
+    "AuthoritySummary",
+    "DEFAULT_BLOCK_SIZE",
+    "EndpointVoid",
+    "FedXConfig",
+    "FedXEngine",
+    "HibiscusEngine",
+    "Operand",
+    "SplendidConfig",
+    "SplendidEngine",
+    "VoidIndex",
+    "bound_join",
+    "build_authority_index",
+    "build_operands",
+    "build_void_index",
+    "evaluate_operand",
+    "order_operands",
+]
+
+from repro.baselines.anapsid import AnapsidConfig, AnapsidEngine
+
+__all__ += ["AnapsidConfig", "AnapsidEngine"]

@@ -1,0 +1,95 @@
+"""VoID-style statistics index for SPLENDID.
+
+SPLENDID (Görlitz & Staab, COLD 2011) relies on precomputed VoID
+descriptions of every endpoint: total triple counts, per-predicate triple
+counts, and distinct subject/object counts per predicate.  The index
+drives both source selection (predicate lookup instead of ASK probes)
+and cardinality estimation for join planning.
+
+Building the index scans each endpoint's data — the preprocessing cost
+the paper contrasts with the index-free engines ("SPLENDID needs 25 and
+3,513 seconds to pre-process QFed and LargeRDFBench").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.endpoint.federation import Federation
+from repro.rdf.terms import Term, Variable
+from repro.rdf.triple import TriplePattern
+
+
+@dataclass
+class EndpointVoid:
+    """VoID statistics for one endpoint."""
+
+    total_triples: int = 0
+    predicate_counts: dict[Term, int] = field(default_factory=dict)
+    distinct_subjects: dict[Term, int] = field(default_factory=dict)
+    distinct_objects: dict[Term, int] = field(default_factory=dict)
+
+    def has_predicate(self, predicate: Term) -> bool:
+        return self.predicate_counts.get(predicate, 0) > 0
+
+    def estimate(self, pattern: TriplePattern) -> float:
+        """Estimated cardinality of a pattern at this endpoint."""
+        predicate = pattern.predicate
+        if isinstance(predicate, Variable):
+            count = float(self.total_triples)
+            subjects = max(1.0, float(sum(self.distinct_subjects.values()) or 1))
+            objects = max(1.0, float(sum(self.distinct_objects.values()) or 1))
+        else:
+            count = float(self.predicate_counts.get(predicate, 0))
+            subjects = max(1.0, float(self.distinct_subjects.get(predicate, 1)))
+            objects = max(1.0, float(self.distinct_objects.get(predicate, 1)))
+        if count == 0.0:
+            return 0.0
+        if not isinstance(pattern.subject, Variable):
+            count /= subjects
+        if not isinstance(pattern.object, Variable):
+            count /= objects
+        return max(count, 0.0)
+
+
+@dataclass
+class VoidIndex:
+    """The federation-wide index plus its construction cost."""
+
+    endpoints: dict[str, EndpointVoid] = field(default_factory=dict)
+    build_ms: float = 0.0
+    triples_scanned: int = 0
+
+    def candidate_sources(self, pattern: TriplePattern, names: list[str]) -> list[str]:
+        predicate = pattern.predicate
+        if isinstance(predicate, Variable):
+            return list(names)
+        return [
+            name
+            for name in names
+            if name in self.endpoints and self.endpoints[name].has_predicate(predicate)
+        ]
+
+    def estimate(self, pattern: TriplePattern, sources: tuple[str, ...]) -> float:
+        return sum(
+            self.endpoints[name].estimate(pattern)
+            for name in sources
+            if name in self.endpoints
+        )
+
+
+def build_void_index(federation: Federation) -> VoidIndex:
+    """Scan every endpoint and build its VoID description."""
+    start = time.perf_counter()
+    index = VoidIndex()
+    for endpoint in federation:
+        void = EndpointVoid(total_triples=len(endpoint.store))
+        for predicate in endpoint.store.predicates():
+            void.predicate_counts[predicate] = endpoint.store.predicate_count(predicate)
+            void.distinct_subjects[predicate] = endpoint.store.distinct_subjects(predicate)
+            void.distinct_objects[predicate] = endpoint.store.distinct_objects(predicate)
+        index.endpoints[endpoint.name] = void
+        index.triples_scanned += len(endpoint.store)
+    index.build_ms = (time.perf_counter() - start) * 1000.0
+    return index

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``  write a benchmark federation to disk as N-Triples files
+``query``     execute a query over a benchmark federation with any engine
+``explain``   print Lusail's compile-time plan for a query
+``bench``     run one of the paper's experiments and print its table
+
+Examples::
+
+    python -m repro generate --benchmark lubm --endpoints 4 --out /tmp/lubm
+    python -m repro query --benchmark lubm --name Q4 --engine fedx
+    python -m repro explain --benchmark qfed --name Drug
+    python -m repro bench --experiment fig03
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.engine import LusailEngine
+from repro.datasets import bio2rdf, io as dataset_io, largerdf, lubm, qfed, queries_largerdf
+from repro.endpoint.federation import Federation
+from repro.harness import ENGINE_ORDER, make_engines, results_by_query, run_matrix
+from repro.net.simulator import geo_distributed_config, local_cluster_config
+
+
+def _build_federation(args) -> Federation:
+    geo = getattr(args, "geo", False)
+    if args.benchmark == "lubm":
+        profile = {
+            "small": lubm.SMALL_PROFILE,
+            "bench": lubm.BENCH_PROFILE,
+            "tiny": lubm.TINY_PROFILE,
+        }[args.profile]
+        return lubm.build_federation(args.endpoints, profile=profile, seed=args.seed, geo=geo)
+    if args.benchmark == "qfed":
+        return qfed.build_federation(seed=args.seed, geo=geo)
+    if args.benchmark == "largerdf":
+        return largerdf.build_federation(scale=args.scale, seed=args.seed, geo=geo)
+    if args.benchmark == "bio2rdf":
+        return bio2rdf.build_federation(seed=args.seed, geo=geo)
+    raise SystemExit(f"unknown benchmark {args.benchmark!r}")
+
+
+def _named_queries(benchmark: str) -> dict[str, str]:
+    if benchmark == "lubm":
+        return lubm.queries()
+    if benchmark == "qfed":
+        queries = dict(qfed.queries())
+        queries["Drug"] = qfed.drug_query()
+        return queries
+    if benchmark == "largerdf":
+        return queries_largerdf.all_queries()
+    if benchmark == "bio2rdf":
+        return bio2rdf.queries()
+    raise SystemExit(f"unknown benchmark {benchmark!r}")
+
+
+def _resolve_query(args) -> str:
+    if args.query_file:
+        with open(args.query_file, encoding="utf-8") as stream:
+            return stream.read()
+    if args.name:
+        queries = _named_queries(args.benchmark)
+        if args.name not in queries:
+            raise SystemExit(
+                f"unknown query {args.name!r}; available: {', '.join(sorted(queries))}"
+            )
+        return queries[args.name]
+    raise SystemExit("provide --name or --query-file")
+
+
+def _add_federation_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmark", required=True,
+                        choices=["lubm", "qfed", "largerdf", "bio2rdf"])
+    parser.add_argument("--endpoints", type=int, default=4, help="LUBM universities")
+    parser.add_argument("--profile", default="small", choices=["small", "bench", "tiny"])
+    parser.add_argument("--scale", type=float, default=1.0, help="LargeRDFBench scale")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--geo", action="store_true", help="spread endpoints over cloud regions")
+
+
+def cmd_generate(args) -> int:
+    federation = _build_federation(args)
+    path = dataset_io.save_federation(federation, args.out)
+    print(f"wrote {len(federation)} endpoints ({federation.total_triples()} triples) to {path}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    federation = _build_federation(args)
+    config = geo_distributed_config() if args.geo else local_cluster_config()
+    engines = make_engines(federation, network_config=config, which=(args.engine,))
+    engine = engines[args.engine]
+    text = _resolve_query(args)
+    outcome = engine.execute(text)
+    print(f"status: {outcome.status}")
+    for row in outcome.result.rows[: args.limit]:
+        print("  " + " | ".join("NULL" if v is None else v.n3() for v in row))
+    if len(outcome.result) > args.limit:
+        print(f"  ... {len(outcome.result) - args.limit} more rows")
+    print(
+        f"{len(outcome.result)} rows, {outcome.metrics.request_count()} requests, "
+        f"{outcome.metrics.rows_shipped()} rows shipped, "
+        f"{outcome.metrics.virtual_ms:.2f} virtual ms"
+    )
+    return 0 if outcome.ok else 1
+
+
+def cmd_explain(args) -> int:
+    federation = _build_federation(args)
+    engine = LusailEngine(federation)
+    print(engine.explain(_resolve_query(args)))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.harness import experiments
+
+    name = args.experiment
+    if name == "fig03":
+        rows = experiments.fig03_fedx_sensitivity()
+    elif name == "table01":
+        rows = experiments.table01_datasets()
+    elif name == "preprocessing":
+        rows = experiments.preprocessing_cost()
+    elif name == "fig09":
+        rows = experiments.fig09_thresholds()
+    elif name == "fig10a":
+        rows = experiments.fig10a_phase_profile()
+    elif name == "fig10bc":
+        rows = experiments.fig10bc_endpoint_scaling()
+    elif name == "ablation":
+        rows = experiments.ablation()
+    elif name in ("fig11", "fig12-2", "fig12-4", "fig13", "fig14c", "real"):
+        if name == "fig11":
+            results = experiments.fig11_qfed()
+        elif name == "fig12-2":
+            results = experiments.fig12_lubm(2)
+        elif name == "fig12-4":
+            results = experiments.fig12_lubm(4)
+        elif name == "fig13":
+            results = experiments.fig13_largerdfbench()
+        elif name == "fig14c":
+            results = experiments.fig14c_geo_lubm()
+        else:
+            results = experiments.real_endpoints()
+        order = [e for e in ENGINE_ORDER if any(r.engine == e for r in results)]
+        print(results_by_query(results, order))
+        return 0
+    else:
+        raise SystemExit(f"unknown experiment {name!r}")
+    if rows:
+        headers = list(rows[0].keys())
+        print("\t".join(headers))
+        for row in rows:
+            print("\t".join(
+                f"{row[h]:.1f}" if isinstance(row[h], float) else str(row[h]) for h in headers
+            ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="write a federation to disk")
+    _add_federation_args(generate)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=cmd_generate)
+
+    query = subparsers.add_parser("query", help="execute a federated query")
+    _add_federation_args(query)
+    query.add_argument("--engine", default="Lusail",
+                       choices=["Lusail", "FedX", "HiBISCuS", "SPLENDID"])
+    query.add_argument("--name", help="named benchmark query (e.g. Q1, C2P2, S3, R1)")
+    query.add_argument("--query-file", help="file containing a SPARQL query")
+    query.add_argument("--limit", type=int, default=10, help="rows to print")
+    query.set_defaults(func=cmd_query)
+
+    explain = subparsers.add_parser("explain", help="print Lusail's plan")
+    _add_federation_args(explain)
+    explain.add_argument("--name")
+    explain.add_argument("--query-file")
+    explain.set_defaults(func=cmd_explain)
+
+    bench = subparsers.add_parser("bench", help="run one paper experiment")
+    bench.add_argument("--experiment", required=True,
+                       choices=["fig03", "table01", "preprocessing", "fig09", "fig10a",
+                                "fig10bc", "fig11", "fig12-2", "fig12-4", "fig13",
+                                "fig14c", "real", "ablation"])
+    bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

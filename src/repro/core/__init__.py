@@ -1,0 +1,9 @@
+"""Lusail core: locality-aware decomposition and selectivity-aware execution."""
+
+from repro.core.engine import LusailConfig, LusailEngine, QueryPlanInfo
+
+__all__ = ["LusailConfig", "LusailEngine", "QueryPlanInfo"]
+
+from repro.core.mqo import BatchOutcome, MultiQueryExecutor, SharedSubqueryCache
+
+__all__ += ["BatchOutcome", "MultiQueryExecutor", "SharedSubqueryCache"]

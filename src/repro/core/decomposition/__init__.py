@@ -1,0 +1,19 @@
+"""LADE: global join variable detection and query decomposition."""
+
+from repro.core.decomposition.check_queries import CheckQuery, checks_for_pair, formulate_check
+from repro.core.decomposition.decomposer import decompose
+from repro.core.decomposition.gjv import GJVResult, detect_gjvs, join_entities
+from repro.core.decomposition.subquery import DecompositionPlan, Subquery, values_block
+
+__all__ = [
+    "CheckQuery",
+    "DecompositionPlan",
+    "GJVResult",
+    "Subquery",
+    "checks_for_pair",
+    "decompose",
+    "detect_gjvs",
+    "formulate_check",
+    "join_entities",
+    "values_block",
+]

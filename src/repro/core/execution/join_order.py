@@ -1,0 +1,213 @@
+"""Cost-based join ordering for subquery results (paper Sec V-B).
+
+Once the subquery relations are on the mediator, their join order is
+chosen with a dynamic-programming enumerator over connected subsets (in
+the spirit of Moerkotte & Neumann's DP algorithms, which the paper
+cites).  The cost of joining a subplan ``S`` with a relation ``R``
+follows the paper's parallel hash-join model::
+
+    JoinCost(S, R) = |S| / S.threads  (hashing the smaller side)
+                   + C(R) / R.threads (probing with the larger side)
+
+Cross products are avoided unless the join graph is disconnected.  The
+fallback (``greedy=True``, used for ablation) picks the smallest pair
+first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.rdf.terms import Variable
+from repro.relational.relation import Relation
+
+
+@dataclass
+class JoinPlanNode:
+    """A node of the join tree: either a base relation or a join."""
+
+    relations: frozenset[int]
+    rows: float
+    threads: int
+    cost: float
+    left: "JoinPlanNode | None" = None
+    right: "JoinPlanNode | None" = None
+    base_index: int | None = None
+
+    def is_leaf(self) -> bool:
+        return self.base_index is not None
+
+    def order(self) -> list[int]:
+        """Base relation indexes in execution order (left-deep first)."""
+        if self.is_leaf():
+            return [self.base_index]  # type: ignore[list-item]
+        assert self.left is not None and self.right is not None
+        return self.left.order() + self.right.order()
+
+
+def _connected(vars_a: set[Variable], vars_b: set[Variable]) -> bool:
+    return bool(vars_a & vars_b)
+
+
+def _join_cost(left: JoinPlanNode, right: JoinPlanNode) -> float:
+    build, probe = (left, right) if left.rows <= right.rows else (right, left)
+    return build.rows / max(1, build.threads) + probe.rows / max(1, probe.threads)
+
+
+def _estimate_join_rows(
+    left: JoinPlanNode, right: JoinPlanNode, shared: bool
+) -> float:
+    if not shared:
+        return left.rows * right.rows
+    # The paper's min-rule: a join on v yields at most the smaller side's
+    # bindings of v.
+    return min(left.rows, right.rows)
+
+
+def plan_joins(
+    relations: Sequence[Relation],
+    greedy: bool = False,
+) -> JoinPlanNode:
+    """Choose a join order over the given relations.
+
+    Returns the root plan node; ``root.order()`` gives the sequence in
+    which :func:`execute_plan` combines the inputs.
+    """
+    if not relations:
+        raise ValueError("plan_joins needs at least one relation")
+
+    leaves = [
+        JoinPlanNode(
+            relations=frozenset((index,)),
+            rows=float(len(relation)),
+            threads=relation.partitions,
+            cost=0.0,
+            base_index=index,
+        )
+        for index, relation in enumerate(relations)
+    ]
+    if len(leaves) == 1:
+        return leaves[0]
+
+    var_sets = [set(relation.vars) for relation in relations]
+    if greedy:
+        return _greedy_plan(leaves, var_sets)
+    return _dp_plan(leaves, var_sets)
+
+
+def _subset_vars(subset: frozenset[int], var_sets: list[set[Variable]]) -> set[Variable]:
+    merged: set[Variable] = set()
+    for index in subset:
+        merged |= var_sets[index]
+    return merged
+
+
+def _dp_plan(leaves: list[JoinPlanNode], var_sets: list[set[Variable]]) -> JoinPlanNode:
+    """DP over subsets (DPsub), preferring connected splits."""
+    n = len(leaves)
+    best: dict[frozenset[int], JoinPlanNode] = {leaf.relations: leaf for leaf in leaves}
+
+    indexes = list(range(n))
+    for size in range(2, n + 1):
+        for subset_tuple in combinations(indexes, size):
+            subset = frozenset(subset_tuple)
+            best_node: JoinPlanNode | None = None
+            subset_list = sorted(subset)
+            # Enumerate proper, non-empty splits once per unordered pair:
+            # the last element is pinned to the right side.
+            for mask in range(1, 2 ** (len(subset_list) - 1)):
+                left_set = frozenset(
+                    subset_list[i] for i in range(len(subset_list) - 1) if mask >> i & 1
+                )
+                if not left_set:
+                    continue
+                right_set = subset - left_set
+                left_node = best.get(left_set)
+                right_node = best.get(right_set)
+                if left_node is None or right_node is None:
+                    continue
+                shared = _connected(
+                    _subset_vars(left_set, var_sets), _subset_vars(right_set, var_sets)
+                )
+                if not shared and size < n:
+                    # Defer cross products until forced at the top.
+                    continue
+                cost = left_node.cost + right_node.cost + _join_cost(left_node, right_node)
+                rows = _estimate_join_rows(left_node, right_node, shared)
+                if best_node is None or cost < best_node.cost:
+                    best_node = JoinPlanNode(
+                        relations=subset,
+                        rows=rows,
+                        threads=max(left_node.threads, right_node.threads),
+                        cost=cost,
+                        left=left_node,
+                        right=right_node,
+                    )
+            if best_node is not None:
+                best[subset] = best_node
+
+    full = frozenset(indexes)
+    root = best.get(full)
+    if root is None:
+        # Disconnected join graph with no full plan (cross products were
+        # skipped): fall back to greedy, which always completes.
+        return _greedy_plan(leaves, var_sets)
+    return root
+
+
+def _greedy_plan(leaves: list[JoinPlanNode], var_sets: list[set[Variable]]) -> JoinPlanNode:
+    """Smallest-cardinality-first pairing, preferring connected pairs."""
+    nodes = list(leaves)
+    while len(nodes) > 1:
+        best_pair: tuple[int, int] | None = None
+        best_key: tuple | None = None
+        for i in range(len(nodes)):
+            for j in range(i + 1, len(nodes)):
+                shared = _connected(
+                    _subset_vars(nodes[i].relations, var_sets),
+                    _subset_vars(nodes[j].relations, var_sets),
+                )
+                key = (0 if shared else 1, _join_cost(nodes[i], nodes[j]))
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_pair = (i, j)
+        assert best_pair is not None
+        i, j = best_pair
+        left_node, right_node = nodes[i], nodes[j]
+        shared = _connected(
+            _subset_vars(left_node.relations, var_sets),
+            _subset_vars(right_node.relations, var_sets),
+        )
+        joined = JoinPlanNode(
+            relations=left_node.relations | right_node.relations,
+            rows=_estimate_join_rows(left_node, right_node, shared),
+            threads=max(left_node.threads, right_node.threads),
+            cost=left_node.cost + right_node.cost + _join_cost(left_node, right_node),
+            left=left_node,
+            right=right_node,
+        )
+        nodes = [node for k, node in enumerate(nodes) if k not in (i, j)]
+        nodes.append(joined)
+    return nodes[0]
+
+
+def execute_plan(
+    root: JoinPlanNode, relations: Sequence[Relation]
+) -> tuple[Relation, float]:
+    """Execute a join plan; returns the result and the modeled cost.
+
+    The returned cost is the paper's JoinCost accumulated over the tree
+    with *actual* intermediate sizes, which the engine converts to
+    virtual milliseconds.
+    """
+    if root.is_leaf():
+        return relations[root.base_index], 0.0  # type: ignore[index]
+    assert root.left is not None and root.right is not None
+    left_rel, left_cost = execute_plan(root.left, relations)
+    right_rel, right_cost = execute_plan(root.right, relations)
+    build, probe = (left_rel, right_rel) if len(left_rel) <= len(right_rel) else (right_rel, left_rel)
+    cost = len(build) / max(1, build.partitions) + len(probe) / max(1, probe.partitions)
+    joined = left_rel.join(right_rel)
+    return joined, left_cost + right_cost + cost

@@ -1,0 +1,75 @@
+"""Chauvenet's criterion for outlier rejection (paper Sec V-A).
+
+SAPE computes the mean and standard deviation of subquery cardinalities
+to decide which subqueries to delay.  Extreme cardinalities would inflate
+the standard deviation and hide genuinely large subqueries, so the paper
+rejects outliers with Chauvenet's criterion first: a sample ``x`` is an
+outlier when the expected number of samples as far from the mean as
+``x`` is below one half, i.e. ``N * erfc(|x - mu| / (sigma * sqrt(2))) < 0.5``.
+
+Rejection is applied iteratively until no sample qualifies, which is the
+standard practice for the criterion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def _mean_std(values: Sequence[float]) -> tuple[float, float]:
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((value - mean) ** 2 for value in values) / n
+    return mean, math.sqrt(variance)
+
+
+def chauvenet_outliers(values: Sequence[float]) -> set[int]:
+    """Indexes of samples rejected by (iterated) Chauvenet's criterion."""
+    if len(values) < 3:
+        return set()
+    active = list(range(len(values)))
+    rejected: set[int] = set()
+    while len(active) >= 3:
+        sample = [values[index] for index in active]
+        mean, std = _mean_std(sample)
+        if std == 0.0:
+            break
+        worst_index = None
+        worst_prob = None
+        for index in active:
+            deviation = abs(values[index] - mean) / std
+            probability = math.erfc(deviation / math.sqrt(2.0))
+            if worst_prob is None or probability < worst_prob:
+                worst_prob = probability
+                worst_index = index
+        assert worst_index is not None and worst_prob is not None
+        if len(active) * worst_prob < 0.5:
+            rejected.add(worst_index)
+            active.remove(worst_index)
+        else:
+            break
+    return rejected
+
+
+@dataclass(frozen=True)
+class RobustStats:
+    """Mean/std computed after Chauvenet rejection, plus the outlier set."""
+
+    mean: float
+    std: float
+    outliers: frozenset[int]
+
+
+def robust_stats(values: Sequence[float], use_chauvenet: bool = True) -> RobustStats:
+    """Mean and standard deviation with optional outlier rejection."""
+    if not values:
+        return RobustStats(0.0, 0.0, frozenset())
+    outliers = chauvenet_outliers(values) if use_chauvenet else set()
+    kept = [value for index, value in enumerate(values) if index not in outliers]
+    if not kept:
+        kept = list(values)
+        outliers = set()
+    mean, std = _mean_std(kept)
+    return RobustStats(mean=mean, std=std, outliers=frozenset(outliers))

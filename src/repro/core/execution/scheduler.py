@@ -1,0 +1,396 @@
+"""SAPE subquery evaluation (paper Algorithm 3).
+
+Execution of one decomposed conjunctive branch:
+
+1. **Disjoint fast path** — a single required subquery and no OPTIONAL
+   blocks: the whole branch is evaluated independently at every relevant
+   endpoint and the results concatenated (Alg 3 lines 2-4).
+2. **Phase one** — non-delayed subqueries go to all their endpoints
+   concurrently; results of connected subqueries are joined eagerly
+   (with the DP join-order optimizer) to obtain the found bindings.
+3. **Phase two** — delayed subqueries run serially, most selective
+   first, as block-wise bound joins: found bindings of the shared
+   variables are shipped in ``VALUES`` blocks, one request per block per
+   endpoint.  Generic patterns get their source list refined with the
+   bindings first (Alg 3 line 13).
+4. OPTIONAL groups are evaluated last (always delayed) and left-joined;
+   residue filters apply at the mediator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.decomposition.subquery import DecompositionPlan, Subquery, values_block
+from repro.core.execution.cost_model import CardinalityEstimates
+from repro.core.execution.join_order import execute_plan, plan_joins
+from repro.core.execution.request_handler import ElasticRequestHandler
+from repro.endpoint.client import FederationClient
+from repro.exceptions import MemoryLimitError
+from repro.net import metrics as metrics_module
+from repro.net.simulator import MediatorCostModel
+from repro.planning.source_selection import refine_sources_with_bindings
+from repro.rdf.terms import Term, Variable
+from repro.rdf.triple import TriplePattern
+from repro.relational.filters import make_filter_predicate
+from repro.relational.relation import Relation
+
+
+@dataclass
+class SchedulerConfig:
+    """Tunable execution knobs (defaults follow the paper)."""
+
+    block_size: int = 500
+    refine_sources: bool = True
+    greedy_join_order: bool = False
+    max_mediator_rows: int | None = 2_000_000
+    pool_size: int = 8
+
+
+@dataclass
+class BranchOutcome:
+    relation: Relation
+    end_ms: float
+    join_cost_units: float = 0.0
+
+
+@dataclass
+class _Component:
+    """A connected group of already-evaluated relations, joined eagerly."""
+
+    relation: Relation
+    variables: set[Variable] = field(default_factory=set)
+
+
+class BranchScheduler:
+    """Executes one decomposed branch against the federation."""
+
+    def __init__(
+        self,
+        client: FederationClient,
+        plan: DecompositionPlan,
+        needed_vars: set[Variable],
+        estimates: CardinalityEstimates,
+        mediator: MediatorCostModel,
+        config: SchedulerConfig,
+    ):
+        self.client = client
+        self.plan = plan
+        self.needed_vars = needed_vars
+        self.estimates = estimates
+        self.mediator = mediator
+        self.config = config
+        self.handler = ElasticRequestHandler(
+            pool_size=config.pool_size,
+            endpoint_names=tuple(client.federation.names()),
+        )
+        self.join_cost_units = 0.0
+
+    # ----------------------------------------------------------- plumbing
+
+    def _guard_rows(self, rows: int) -> None:
+        limit = self.config.max_mediator_rows
+        if limit is not None and rows > limit:
+            self.client.metrics.status = "oom"
+            raise MemoryLimitError(
+                f"mediator intermediate results exceeded {limit} rows", rows=rows
+            )
+
+    def _execute_subquery(
+        self, subquery: Subquery, at_ms: float, kind: str = metrics_module.SELECT
+    ) -> tuple[Relation, float]:
+        """Evaluate a subquery at all its endpoints concurrently."""
+        projection = subquery.projection(self.needed_vars) or tuple(
+            sorted(subquery.variables(), key=lambda v: v.name)
+        )
+        query = subquery.to_select(projection)
+        relation = Relation(projection, partitions=1)
+        finish = at_ms
+        for endpoint in subquery.sources:
+            result, end = self.client.select(endpoint, query, at_ms, kind=kind)
+            finish = max(finish, end)
+            relation.rows.extend(result.rows)
+        relation.partitions = self.handler.partitions_for(subquery.sources, len(relation))
+        self._guard_rows(len(relation))
+        return relation, finish
+
+    def _execute_bound_subquery(
+        self,
+        subquery: Subquery,
+        bind_vars: tuple[Variable, ...],
+        binding_rows: list[tuple[Term | None, ...]],
+        sources: tuple[str, ...],
+        at_ms: float,
+    ) -> tuple[Relation, float]:
+        """Evaluate a delayed subquery with VALUES blocks of bindings."""
+        projection = subquery.projection(self.needed_vars) or tuple(
+            sorted(subquery.variables(), key=lambda v: v.name)
+        )
+        relation = Relation(projection, partitions=1)
+        finish = at_ms
+        block_size = self.config.block_size
+        for start in range(0, len(binding_rows), block_size):
+            block = binding_rows[start:start + block_size]
+            query = subquery.to_select(projection, values=values_block(bind_vars, block))
+            for endpoint in sources:
+                result, end = self.client.select(
+                    endpoint, query, at_ms, kind=metrics_module.BOUND
+                )
+                finish = max(finish, end)
+                relation.rows.extend(result.rows)
+        relation.partitions = self.handler.partitions_for(sources, len(relation))
+        self._guard_rows(len(relation))
+        return relation, finish
+
+    # ----------------------------------------------------------- components
+
+    def _merge_into_components(
+        self, components: list[_Component], relation: Relation
+    ) -> None:
+        """Join a new relation into every component it connects with."""
+        vars = set(relation.vars)
+        connected = [c for c in components if c.variables & vars]
+        merged_relation = relation
+        merged_vars = set(vars)
+        for component in connected:
+            build, probe = (
+                (component.relation, merged_relation)
+                if len(component.relation) <= len(merged_relation)
+                else (merged_relation, component.relation)
+            )
+            self.join_cost_units += len(build) / max(1, build.partitions) + len(probe) / max(
+                1, probe.partitions
+            )
+            merged_relation = component.relation.join(merged_relation)
+            merged_vars |= component.variables
+            components.remove(component)
+        self._guard_rows(len(merged_relation))
+        components.append(_Component(relation=merged_relation, variables=merged_vars))
+
+    def _bindings_for(
+        self, components: list[_Component], variables: set[Variable]
+    ) -> tuple[tuple[Variable, ...], list[tuple[Term | None, ...]], int] | None:
+        """Find the component sharing variables with a delayed subquery.
+
+        Returns (shared variables, distinct binding rows, binding count),
+        or None when nothing evaluated so far connects to the subquery.
+        """
+        best: tuple[tuple[Variable, ...], list[tuple[Term | None, ...]], int] | None = None
+        for component in components:
+            shared = tuple(
+                sorted(component.variables & variables, key=lambda v: v.name)
+            )
+            if not shared:
+                continue
+            projected = component.relation.project(shared).distinct()
+            rows = [row for row in projected.rows if None not in row]
+            if best is None or len(rows) < best[2]:
+                best = (shared, rows, len(rows))
+        return best
+
+    def _refined_cardinality(
+        self, subquery: Subquery, components: list[_Component]
+    ) -> float:
+        bindings = self._bindings_for(components, subquery.variables())
+        if bindings is None:
+            return subquery.estimated_cardinality
+        return min(subquery.estimated_cardinality, float(bindings[2]))
+
+    # ------------------------------------------------------------- phases
+
+    def run(self, at_ms: float) -> BranchOutcome:
+        required = self.plan.required_subqueries()
+        optional_groups = self.plan.optional_groups()
+
+        if self.plan.disjoint and not optional_groups:
+            relation, end = self._execute_subquery(required[0], at_ms)
+            relation = self._apply_residue(relation)
+            return BranchOutcome(relation, end, self.join_cost_units)
+
+        now = at_ms
+        components: list[_Component] = []
+
+        # Phase one: non-delayed required subqueries, concurrently.
+        eager = [sq for sq in required if not sq.delayed]
+        eager_results: list[tuple[Subquery, Relation]] = []
+        phase_end = now
+        for subquery in eager:
+            relation, end = self._execute_subquery(subquery, now)
+            phase_end = max(phase_end, end)
+            eager_results.append((subquery, relation))
+        now = phase_end
+
+        # Join connected eager results (DP order inside each component).
+        components = self._join_eager(eager_results)
+
+        # Phase two: delayed required subqueries, most selective first.
+        delayed = [sq for sq in required if sq.delayed]
+        while delayed:
+            delayed.sort(key=lambda sq: self._refined_cardinality(sq, components))
+            subquery = delayed.pop(0)
+            now = self._run_delayed(subquery, components, now)
+
+        # Combine remaining components (cross product only if genuinely
+        # disconnected).
+        relation = self._combine_components(components)
+
+        # OPTIONAL groups: evaluate with bindings, left join.
+        for group_id in sorted(optional_groups):
+            relation, now = self._run_optional_group(
+                optional_groups[group_id], relation, now
+            )
+
+        relation = self._apply_residue(relation)
+        now += self.mediator.scan_ms(len(relation))
+        return BranchOutcome(relation, now, self.join_cost_units)
+
+    def _join_eager(self, eager_results: list[tuple[Subquery, Relation]]) -> list[_Component]:
+        """Group eager relations into connected components and join each."""
+        components: list[_Component] = []
+        if not eager_results:
+            return components
+        remaining = list(eager_results)
+        while remaining:
+            seed_sq, seed_rel = remaining.pop(0)
+            group = [(seed_sq, seed_rel)]
+            group_vars = set(seed_rel.vars)
+            changed = True
+            while changed:
+                changed = False
+                for item in list(remaining):
+                    if set(item[1].vars) & group_vars:
+                        group.append(item)
+                        group_vars |= set(item[1].vars)
+                        remaining.remove(item)
+                        changed = True
+            relations = [relation for __, relation in group]
+            if len(relations) == 1:
+                joined = relations[0]
+            else:
+                plan = plan_joins(relations, greedy=self.config.greedy_join_order)
+                joined, cost = execute_plan(plan, relations)
+                self.join_cost_units += cost
+            self._guard_rows(len(joined))
+            components.append(_Component(relation=joined, variables=set(joined.vars)))
+        return components
+
+    def _run_delayed(
+        self, subquery: Subquery, components: list[_Component], now: float
+    ) -> float:
+        bindings = self._bindings_for(components, subquery.variables())
+        sources = subquery.sources
+
+        if bindings is not None and self.config.refine_sources and self._is_generic(subquery):
+            sources, now = self._refine_generic_sources(subquery, bindings, sources, now)
+
+        if bindings is None or not bindings[1]:
+            if bindings is not None and not bindings[1]:
+                # Connected component is empty: the join is empty, skip
+                # the remote work entirely.
+                relation = Relation(
+                    subquery.projection(self.needed_vars)
+                    or tuple(sorted(subquery.variables(), key=lambda v: v.name))
+                )
+                end = now
+            else:
+                relation, end = self._execute_subquery(subquery, now)
+        else:
+            bind_vars, rows, __ = bindings
+            relation, end = self._execute_bound_subquery(
+                subquery, bind_vars, rows, sources, now
+            )
+        self._merge_into_components(components, relation)
+        return end
+
+    def _is_generic(self, subquery: Subquery) -> bool:
+        return any(
+            isinstance(pattern.predicate, Variable) for pattern in subquery.patterns
+        )
+
+    def _refine_generic_sources(
+        self,
+        subquery: Subquery,
+        bindings: tuple[tuple[Variable, ...], list[tuple[Term | None, ...]], int],
+        sources: tuple[str, ...],
+        now: float,
+    ) -> tuple[tuple[str, ...], float]:
+        """Alg 3 line 13: shrink the source list of generic patterns."""
+        bind_vars, rows, __ = bindings
+        sample = rows[:3]
+        bound_patterns: list[TriplePattern] = []
+        for pattern in subquery.patterns:
+            shared = pattern.variables() & set(bind_vars)
+            if not shared:
+                continue
+            for row in sample:
+                mapping = {
+                    var: value
+                    for var, value in zip(bind_vars, row)
+                    if value is not None and var in shared
+                }
+                bound_patterns.append(pattern.bind(mapping))
+        if not bound_patterns:
+            return sources, now
+        refined, end = refine_sources_with_bindings(
+            self.client,
+            subquery.patterns[0],
+            bind_vars[0],
+            bound_patterns,
+            sources,
+            now,
+        )
+        return (refined or sources), end
+
+    def _combine_components(self, components: list[_Component]) -> Relation:
+        if not components:
+            return Relation.unit()
+        relations = [component.relation for component in components]
+        if len(relations) == 1:
+            return relations[0]
+        plan = plan_joins(relations, greedy=True)
+        joined, cost = execute_plan(plan, relations)
+        self.join_cost_units += cost
+        self._guard_rows(len(joined))
+        return joined
+
+    def _run_optional_group(
+        self, subqueries: list[Subquery], base: Relation, now: float
+    ) -> tuple[Relation, float]:
+        """Evaluate one OPTIONAL block and left-join it onto the base."""
+        group_id = subqueries[0].optional_group
+        base_component = _Component(relation=base, variables=set(base.vars))
+        group_relation: Relation | None = None
+        end = now
+        for subquery in sorted(subqueries, key=lambda sq: sq.estimated_cardinality):
+            context = [base_component]
+            if group_relation is not None:
+                context.append(
+                    _Component(relation=group_relation, variables=set(group_relation.vars))
+                )
+            bindings = self._bindings_for(context, subquery.variables())
+            if bindings is not None and bindings[1]:
+                bind_vars, rows, __ = bindings
+                relation, end = self._execute_bound_subquery(
+                    subquery, bind_vars, rows, subquery.sources, now
+                )
+            else:
+                relation, end = self._execute_subquery(subquery, now)
+            now = end
+            if group_relation is None:
+                group_relation = relation
+            else:
+                self.join_cost_units += len(relation) / max(1, relation.partitions)
+                group_relation = group_relation.join(relation)
+            self._guard_rows(len(group_relation))
+        if group_relation is None:
+            return base, now
+        for expression in self.plan.optional_residue.get(group_id, ()):
+            group_relation = group_relation.filter(make_filter_predicate(expression))
+        self.join_cost_units += len(group_relation) / max(1, group_relation.partitions)
+        return base.left_join(group_relation), now
+
+    def _apply_residue(self, relation: Relation) -> Relation:
+        for expression in self.plan.residue_filters:
+            predicate = make_filter_predicate(expression)
+            relation = relation.filter(predicate)
+        return relation

@@ -1,0 +1,117 @@
+"""Multi-query optimization (paper Sec V: "Lusail also supports
+multi-query optimization").
+
+When a batch of queries is decomposed by LADE, different queries often
+produce identical subqueries (same patterns, same filters, same relevant
+endpoints).  The multi-query executor evaluates each distinct *eager*
+subquery once per batch and shares the shipped relation across queries,
+on top of the ASK/check/COUNT caches the engine already shares.
+
+Delayed subqueries are not shared: their results depend on the bindings
+found by the rest of their own query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import LusailEngine
+from repro.core.execution.scheduler import BranchScheduler
+from repro.planning.base_engine import ExecutionOutcome
+from repro.relational.relation import Relation
+from repro.sparql.ast import SelectQuery
+
+
+@dataclass
+class SharedSubqueryCache:
+    """Batch-scoped store of evaluated subquery relations."""
+
+    relations: dict[tuple, Relation] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    @staticmethod
+    def key(subquery) -> tuple:
+        return (subquery.patterns, subquery.filters, subquery.sources)
+
+    def get(self, subquery) -> Relation | None:
+        relation = self.relations.get(self.key(subquery))
+        if relation is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return relation
+
+    def put(self, subquery, relation: Relation) -> None:
+        self.relations[self.key(subquery)] = relation
+
+
+class _SharingScheduler(BranchScheduler):
+    """BranchScheduler that consults the batch cache for eager subqueries."""
+
+    shared_cache: SharedSubqueryCache | None = None
+
+    def _execute_subquery(self, subquery, at_ms, kind=None):
+        cache = self.shared_cache
+        projection = subquery.projection(self.needed_vars) or tuple(
+            sorted(subquery.variables(), key=lambda v: v.name)
+        )
+        if cache is not None and subquery.optional_group is None:
+            cached = cache.relations.get(cache.key(subquery))
+            if cached is not None and set(projection) <= set(cached.vars):
+                # The relation is already on the mediator: no remote
+                # requests, no added virtual time.  Re-project in case
+                # this query needs fewer columns than the cached fetch.
+                cache.hits += 1
+                reused = cached.project(projection)
+                reused.partitions = cached.partitions
+                return reused, at_ms
+            cache.misses += 1
+        if kind is None:
+            relation, end = super()._execute_subquery(subquery, at_ms)
+        else:
+            relation, end = super()._execute_subquery(subquery, at_ms, kind)
+        if cache is not None and subquery.optional_group is None and not subquery.delayed:
+            existing = cache.relations.get(cache.key(subquery))
+            # Keep the widest fetched projection for maximal reuse.
+            if existing is None or len(relation.vars) >= len(existing.vars):
+                cache.put(subquery, relation)
+        return relation, end
+
+
+@dataclass
+class BatchOutcome:
+    """Results of a batch execution plus sharing statistics."""
+
+    outcomes: list[ExecutionOutcome]
+    shared_hits: int
+    shared_misses: int
+    total_requests: int
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+
+class MultiQueryExecutor:
+    """Execute a batch of queries with cross-query subquery sharing."""
+
+    def __init__(self, engine: LusailEngine):
+        self.engine = engine
+
+    def execute_batch(self, queries: list[SelectQuery | str]) -> BatchOutcome:
+        cache = SharedSubqueryCache()
+        original = self.engine.scheduler_class
+        _SharingScheduler.shared_cache = cache
+        self.engine.scheduler_class = _SharingScheduler
+        try:
+            outcomes = [self.engine.execute(query) for query in queries]
+        finally:
+            self.engine.scheduler_class = original
+            _SharingScheduler.shared_cache = None
+        total_requests = sum(outcome.metrics.request_count() for outcome in outcomes)
+        return BatchOutcome(
+            outcomes=outcomes,
+            shared_hits=cache.hits,
+            shared_misses=cache.misses,
+            total_requests=total_requests,
+        )

@@ -1,0 +1,32 @@
+"""Benchmark dataset generators and query workloads.
+
+* :mod:`repro.datasets.lubm` — LUBM universities (paper Figs 3, 10, 12, 14c)
+* :mod:`repro.datasets.qfed` — QFed life sciences (paper Figs 3, 11)
+* :mod:`repro.datasets.largerdf` + :mod:`repro.datasets.queries_largerdf`
+  — LargeRDFBench-style 13 endpoints (paper Figs 9, 10a, 13, 14a-b)
+* :mod:`repro.datasets.bio2rdf` — Bio2RDF-style endpoints (paper Sec VI-D)
+* :mod:`repro.datasets.random_federation` — seeded random federations for
+  property-based testing
+"""
+
+from repro.datasets import (
+    bio2rdf,
+    io,
+    largerdf,
+    lubm,
+    qfed,
+    queries_largerdf,
+    queries_lubm,
+    random_federation,
+)
+
+__all__ = [
+    "bio2rdf",
+    "io",
+    "queries_lubm",
+    "largerdf",
+    "lubm",
+    "qfed",
+    "queries_largerdf",
+    "random_federation",
+]

@@ -1,0 +1,146 @@
+"""Bio2RDF-style endpoints for the paper's "Real Endpoints" experiment.
+
+Sec VI-D queries live Bio2RDF endpoints with three queries from the
+Bio2RDF query log: R1 joins DrugBank, HGNC, and MGI; R2 joins PharmGKB
+and OMIM; R3 joins DrugBank and OMIM.  We rebuild five interlinked
+life-science endpoints with the corresponding cross-references:
+
+* **drugbank** — drugs with gene targets (HGNC symbols as IRIs);
+* **hgnc** — human gene nomenclature: symbol, name, mouse ortholog (MGI);
+* **mgi** — mouse genome informatics: markers with names;
+* **pharmgkb** — pharmacogenomics: gene-drug annotations, OMIM links;
+* **omim** — Mendelian inheritance: phenotype entries for genes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.endpoint.endpoint import Endpoint
+from repro.endpoint.federation import Federation
+from repro.net import regions as regions_module
+from repro.rdf.namespaces import Namespace, RDF_TYPE
+from repro.rdf.terms import Literal
+from repro.rdf.triple import Triple
+
+DRUG = Namespace("http://bio2rdf.example.org/drugbank/")
+HGNC = Namespace("http://bio2rdf.example.org/hgnc/")
+MGI = Namespace("http://bio2rdf.example.org/mgi/")
+PGKB = Namespace("http://bio2rdf.example.org/pharmgkb/")
+OMIM = Namespace("http://bio2rdf.example.org/omim/")
+
+BIO2RDF_PREFIXES = (
+    "PREFIX drug: <http://bio2rdf.example.org/drugbank/>\n"
+    "PREFIX hgnc: <http://bio2rdf.example.org/hgnc/>\n"
+    "PREFIX mgi: <http://bio2rdf.example.org/mgi/>\n"
+    "PREFIX pgkb: <http://bio2rdf.example.org/pharmgkb/>\n"
+    "PREFIX omim: <http://bio2rdf.example.org/omim/>\n"
+)
+
+
+def build_federation(
+    genes: int = 80,
+    drugs: int = 60,
+    annotations: int = 120,
+    seed: int = 42,
+    geo: bool = False,
+) -> Federation:
+    rng = random.Random(f"bio2rdf:{seed}")
+    regions = (
+        regions_module.assign_regions(5) if geo else [regions_module.LOCAL] * 5
+    )
+
+    gene_iris = [HGNC[f"gene{i}"] for i in range(genes)]
+    mgi_iris = [MGI[f"marker{i}"] for i in range(genes)]
+    omim_iris = [OMIM[f"entry{i}"] for i in range(genes)]
+    drug_iris = [DRUG[f"drug{i}"] for i in range(drugs)]
+
+    hgnc_triples: list[Triple] = []
+    for i, gene in enumerate(gene_iris):
+        hgnc_triples.append(Triple(gene, RDF_TYPE, HGNC.Gene))
+        hgnc_triples.append(Triple(gene, HGNC.symbol, Literal(f"HG{i}")))
+        hgnc_triples.append(Triple(gene, HGNC.approvedName, Literal(f"human gene {i}")))
+        hgnc_triples.append(Triple(gene, HGNC.mouseOrtholog, mgi_iris[i]))
+
+    mgi_triples: list[Triple] = []
+    for i, marker in enumerate(mgi_iris):
+        mgi_triples.append(Triple(marker, RDF_TYPE, MGI.Marker))
+        mgi_triples.append(Triple(marker, MGI.name, Literal(f"mouse marker {i}")))
+        mgi_triples.append(Triple(marker, MGI.chromosome, Literal(str(1 + i % 19))))
+
+    drugbank_triples: list[Triple] = []
+    for i, drug in enumerate(drug_iris):
+        drugbank_triples.append(Triple(drug, RDF_TYPE, DRUG.Drug))
+        drugbank_triples.append(Triple(drug, DRUG.label, Literal(f"bio-drug-{i}")))
+        for k in range(2):
+            target = gene_iris[(i * 2 + k) % genes]
+            drugbank_triples.append(Triple(drug, DRUG.target, target))
+        drugbank_triples.append(Triple(drug, DRUG.omimReference, omim_iris[(i * 3) % genes]))
+
+    pharmgkb_triples: list[Triple] = []
+    for i in range(annotations):
+        annotation = PGKB[f"annotation{i}"]
+        pharmgkb_triples.append(Triple(annotation, RDF_TYPE, PGKB.Annotation))
+        pharmgkb_triples.append(Triple(annotation, PGKB.gene, gene_iris[i % genes]))
+        pharmgkb_triples.append(Triple(annotation, PGKB.omimLink, omim_iris[i % genes]))
+        pharmgkb_triples.append(
+            Triple(annotation, PGKB.evidence, Literal(rng.choice(["1A", "1B", "2A", "3"])))
+        )
+
+    omim_triples: list[Triple] = []
+    for i, entry in enumerate(omim_iris):
+        omim_triples.append(Triple(entry, RDF_TYPE, OMIM.Entry))
+        omim_triples.append(Triple(entry, OMIM.title, Literal(f"phenotype {i}")))
+        omim_triples.append(Triple(entry, OMIM.mimNumber, Literal(str(100000 + i))))
+
+    federation = Federation()
+    for name, triples, region in (
+        ("drugbank", drugbank_triples, regions[0]),
+        ("hgnc", hgnc_triples, regions[1]),
+        ("mgi", mgi_triples, regions[2]),
+        ("pharmgkb", pharmgkb_triples, regions[3]),
+        ("omim", omim_triples, regions[4]),
+    ):
+        federation.add(Endpoint(name=name, triples=triples, region=region))
+    return federation
+
+
+def query_r1() -> str:
+    """R1: drugs -> human gene targets -> mouse orthologs (3 endpoints)."""
+    return BIO2RDF_PREFIXES + """
+SELECT ?drug ?symbol ?markerName WHERE {
+  ?drug a drug:Drug .
+  ?drug drug:target ?gene .
+  ?gene hgnc:symbol ?symbol .
+  ?gene hgnc:mouseOrtholog ?marker .
+  ?marker mgi:name ?markerName .
+}
+"""
+
+
+def query_r2() -> str:
+    """R2: PharmGKB annotations joined with OMIM phenotype entries."""
+    return BIO2RDF_PREFIXES + """
+SELECT ?annotation ?evidence ?title WHERE {
+  ?annotation a pgkb:Annotation .
+  ?annotation pgkb:evidence ?evidence .
+  ?annotation pgkb:omimLink ?entry .
+  ?entry omim:title ?title .
+}
+"""
+
+
+def query_r3() -> str:
+    """R3: DrugBank drugs with their OMIM phenotype references."""
+    return BIO2RDF_PREFIXES + """
+SELECT ?drug ?label ?mim WHERE {
+  ?drug a drug:Drug .
+  ?drug drug:label ?label .
+  ?drug drug:omimReference ?entry .
+  ?entry omim:mimNumber ?mim .
+}
+"""
+
+
+def queries() -> dict[str, str]:
+    return {"R1": query_r1(), "R2": query_r2(), "R3": query_r3()}

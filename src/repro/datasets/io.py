@@ -1,0 +1,52 @@
+"""Persist federations to disk as one N-Triples file per endpoint.
+
+Useful for inspecting generated benchmark data and for loading the same
+federation into an external triple store.  A small JSON manifest records
+endpoint order and regions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.endpoint.endpoint import Endpoint
+from repro.endpoint.federation import Federation
+from repro.rdf import ntriples
+
+MANIFEST_NAME = "federation.json"
+
+
+def save_federation(federation: Federation, directory: str | pathlib.Path) -> pathlib.Path:
+    """Write each endpoint's triples to ``<name>.nt`` plus a manifest."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest = []
+    for endpoint in federation:
+        filename = f"{endpoint.name}.nt"
+        with open(path / filename, "w", encoding="utf-8") as stream:
+            count = ntriples.dump(sorted(endpoint.store, key=lambda t: t.n3()), stream)
+        manifest.append(
+            {
+                "name": endpoint.name,
+                "region": endpoint.region,
+                "file": filename,
+                "triples": count,
+            }
+        )
+    with open(path / MANIFEST_NAME, "w", encoding="utf-8") as stream:
+        json.dump({"endpoints": manifest}, stream, indent=2)
+    return path
+
+
+def load_federation(directory: str | pathlib.Path) -> Federation:
+    """Rebuild a federation saved by :func:`save_federation`."""
+    path = pathlib.Path(directory)
+    with open(path / MANIFEST_NAME, encoding="utf-8") as stream:
+        manifest = json.load(stream)
+    federation = Federation()
+    for entry in manifest["endpoints"]:
+        with open(path / entry["file"], encoding="utf-8") as stream:
+            triples = list(ntriples.load(stream))
+        federation.add(Endpoint(name=entry["name"], triples=triples, region=entry["region"]))
+    return federation

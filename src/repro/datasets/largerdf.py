@@ -1,0 +1,342 @@
+"""LargeRDFBench-style federation: 13 heterogeneous endpoints.
+
+Mirrors the structure of LargeRDFBench (Saleem et al.), the paper's main
+real-data benchmark: three large LinkedTCGA cancer-genomics endpoints,
+a cluster of life-science sources (ChEBI, DrugBank, KEGG, Affymetrix),
+a cross-domain hub (DBpedia subset) and satellites linking into it
+(New York Times, LinkedMDB, Jamendo, GeoNames, Semantic Web Dog Food).
+
+Relative sizes follow Table I of the paper: the TCGA endpoints dwarf the
+rest, GeoNames and DBpedia are mid-sized, SWDF is tiny.  ``scale``
+multiplies every entity count.
+
+Interlinks (all IRI references, respecting the decentralized-authority
+assumption):
+
+* TCGA methylation/expression results -> TCGA-A patients, Affymetrix genes
+* TCGA-A patients -> GeoNames places (hospital location)
+* DrugBank -> KEGG (compound), ChEBI (ingredient), DBpedia (sameAs)
+* KEGG -> ChEBI (sameAs)
+* NYTimes topics -> DBpedia entities (sameAs)
+* LinkedMDB films -> DBpedia films (sameAs)
+* Jamendo artists -> GeoNames places (based near)
+* SWDF authors' affiliations -> DBpedia organisations
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.endpoint.endpoint import Endpoint
+from repro.endpoint.federation import Federation
+from repro.net import regions as regions_module
+from repro.rdf.namespaces import Namespace, OWL_SAMEAS, RDF_TYPE, RDFS_LABEL
+from repro.rdf.terms import Literal, typed_literal
+from repro.rdf.triple import Triple
+
+TCGAM = Namespace("http://tcga-m.example.org/resource/")
+TCGAE = Namespace("http://tcga-e.example.org/resource/")
+TCGAA = Namespace("http://tcga-a.example.org/resource/")
+CHEBI = Namespace("http://chebi.example.org/resource/")
+DBP = Namespace("http://dbpedia.example.org/resource/")
+DBPO = Namespace("http://dbpedia.example.org/ontology/")
+DRUGB = Namespace("http://drugbank.example.org/largerdf/")
+GEO = Namespace("http://geonames.example.org/resource/")
+JAM = Namespace("http://jamendo.example.org/resource/")
+KEGG = Namespace("http://kegg.example.org/resource/")
+MDB = Namespace("http://linkedmdb.example.org/resource/")
+NYT = Namespace("http://nytimes.example.org/resource/")
+SWDF = Namespace("http://swdf.example.org/resource/")
+AFFY = Namespace("http://affymetrix.example.org/resource/")
+
+LARGERDF_PREFIXES = (
+    "PREFIX tcgam: <http://tcga-m.example.org/resource/>\n"
+    "PREFIX tcgae: <http://tcga-e.example.org/resource/>\n"
+    "PREFIX tcgaa: <http://tcga-a.example.org/resource/>\n"
+    "PREFIX chebi: <http://chebi.example.org/resource/>\n"
+    "PREFIX dbp: <http://dbpedia.example.org/resource/>\n"
+    "PREFIX dbpo: <http://dbpedia.example.org/ontology/>\n"
+    "PREFIX drugb: <http://drugbank.example.org/largerdf/>\n"
+    "PREFIX geo: <http://geonames.example.org/resource/>\n"
+    "PREFIX jam: <http://jamendo.example.org/resource/>\n"
+    "PREFIX kegg: <http://kegg.example.org/resource/>\n"
+    "PREFIX mdb: <http://linkedmdb.example.org/resource/>\n"
+    "PREFIX nyt: <http://nytimes.example.org/resource/>\n"
+    "PREFIX swdf: <http://swdf.example.org/resource/>\n"
+    "PREFIX affy: <http://affymetrix.example.org/resource/>\n"
+)
+
+ENDPOINT_NAMES = (
+    "tcga-m",
+    "tcga-e",
+    "tcga-a",
+    "chebi",
+    "dbpedia",
+    "drugbank",
+    "geonames",
+    "jamendo",
+    "kegg",
+    "linkedmdb",
+    "nytimes",
+    "swdogfood",
+    "affymetrix",
+)
+
+_CANCER_TYPES = ["lung", "breast", "colon", "skin", "prostate", "ovarian"]
+_COUNTRIES = ["US", "DE", "FR", "JP", "BR", "IN", "GB"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Entity counts (multiply by ``factor`` for bigger runs)."""
+
+    patients: int = 60
+    results_per_patient_m: int = 20
+    results_per_patient_e: int = 16
+    genes: int = 80
+    drugs: int = 80
+    compounds_chebi: int = 90
+    compounds_kegg: int = 70
+    dbpedia_entities: int = 120
+    places: int = 100
+    films: int = 60
+    artists: int = 50
+    topics: int = 60
+    papers: int = 30
+
+    def scaled(self, factor: float) -> "Scale":
+        def mul(value: int) -> int:
+            return max(1, int(value * factor))
+
+        return Scale(
+            patients=mul(self.patients),
+            results_per_patient_m=self.results_per_patient_m,
+            results_per_patient_e=self.results_per_patient_e,
+            genes=mul(self.genes),
+            drugs=mul(self.drugs),
+            compounds_chebi=mul(self.compounds_chebi),
+            compounds_kegg=mul(self.compounds_kegg),
+            dbpedia_entities=mul(self.dbpedia_entities),
+            places=mul(self.places),
+            films=mul(self.films),
+            artists=mul(self.artists),
+            topics=mul(self.topics),
+            papers=mul(self.papers),
+        )
+
+
+def build_federation(
+    scale: float = 1.0,
+    seed: int = 42,
+    geo: bool = False,
+    hub_scale: float = 1.0,
+) -> Federation:
+    """Generate all 13 endpoints.
+
+    ``hub_scale`` additionally multiplies the *hub* datasets (GeoNames,
+    DBpedia entities, ChEBI, KEGG, NYT topics) without touching the
+    query-relevant cores.  Real hubs dwarf what any one query touches
+    (GeoNames alone holds 108M triples); a large ``hub_scale`` recreates
+    that skew, which is what makes SAPE's delaying pay off (Fig 9).
+    """
+    sizes = Scale().scaled(scale)
+    if hub_scale != 1.0:
+        sizes = Scale(
+            patients=sizes.patients,
+            results_per_patient_m=sizes.results_per_patient_m,
+            results_per_patient_e=sizes.results_per_patient_e,
+            genes=sizes.genes,
+            drugs=sizes.drugs,
+            compounds_chebi=max(1, int(sizes.compounds_chebi * hub_scale)),
+            compounds_kegg=max(1, int(sizes.compounds_kegg * hub_scale)),
+            dbpedia_entities=max(1, int(sizes.dbpedia_entities * hub_scale)),
+            places=max(1, int(sizes.places * hub_scale)),
+            films=sizes.films,
+            artists=sizes.artists,
+            topics=max(1, int(sizes.topics * hub_scale)),
+            papers=sizes.papers,
+        )
+    rng = random.Random(f"largerdf:{seed}")
+    regions = (
+        regions_module.assign_regions(len(ENDPOINT_NAMES))
+        if geo
+        else [regions_module.LOCAL] * len(ENDPOINT_NAMES)
+    )
+
+    patients = [TCGAA[f"patient{i}"] for i in range(sizes.patients)]
+    genes = [AFFY[f"gene{i}"] for i in range(sizes.genes)]
+    places = [GEO[f"place{i}"] for i in range(sizes.places)]
+    dbp_drugs = [DBP[f"Drug_{i}"] for i in range(sizes.drugs)]
+    dbp_films = [DBP[f"Film_{i}"] for i in range(sizes.films)]
+    chebi_compounds = [CHEBI[f"compound{i}"] for i in range(sizes.compounds_chebi)]
+    kegg_compounds = [KEGG[f"C{10000 + i}"] for i in range(sizes.compounds_kegg)]
+
+    # ---- TCGA-A: patient annotations -----------------------------------
+    tcga_a: list[Triple] = []
+    for i, patient in enumerate(patients):
+        tcga_a.append(Triple(patient, RDF_TYPE, TCGAA.Patient))
+        tcga_a.append(Triple(patient, TCGAA.barcode, Literal(f"TCGA-{i:04d}")))
+        tcga_a.append(Triple(patient, TCGAA.gender, Literal("male" if i % 2 else "female")))
+        tcga_a.append(Triple(patient, TCGAA.age, typed_literal(30 + (i * 7) % 50)))
+        # i//2 decouples disease from the gender parity so that every
+        # (gender, disease) combination occurs.
+        tcga_a.append(
+            Triple(patient, TCGAA.disease, Literal(_CANCER_TYPES[(i // 2) % len(_CANCER_TYPES)]))
+        )
+        tcga_a.append(Triple(patient, TCGAA.location, places[i % len(places)]))
+
+    # ---- TCGA-M: methylation results (the biggest endpoint) ------------
+    tcga_m: list[Triple] = []
+    for i, patient in enumerate(patients):
+        for j in range(sizes.results_per_patient_m):
+            result = TCGAM[f"methylation{i}_{j}"]
+            tcga_m.append(Triple(result, RDF_TYPE, TCGAM.Result))
+            tcga_m.append(Triple(result, TCGAM.patient, patient))
+            tcga_m.append(Triple(result, TCGAM.gene, genes[(i + j) % len(genes)]))
+            tcga_m.append(Triple(result, TCGAM.betaValue, typed_literal(round(rng.random(), 3))))
+
+    # ---- TCGA-E: expression results -------------------------------------
+    tcga_e: list[Triple] = []
+    for i, patient in enumerate(patients):
+        for j in range(sizes.results_per_patient_e):
+            result = TCGAE[f"expression{i}_{j}"]
+            tcga_e.append(Triple(result, RDF_TYPE, TCGAE.Expression))
+            tcga_e.append(Triple(result, TCGAE.patient, patient))
+            tcga_e.append(Triple(result, TCGAE.gene, genes[(i * 3 + j) % len(genes)]))
+            tcga_e.append(Triple(result, TCGAE.level, typed_literal(rng.randrange(0, 5000))))
+
+    # ---- Affymetrix: probe annotations ----------------------------------
+    affymetrix: list[Triple] = []
+    for i, gene in enumerate(genes):
+        affymetrix.append(Triple(gene, RDF_TYPE, AFFY.Probe))
+        affymetrix.append(Triple(gene, AFFY.symbol, Literal(f"GENE{i}")))
+        affymetrix.append(Triple(gene, AFFY.chromosome, Literal(str(1 + i % 22))))
+        affymetrix.append(Triple(gene, AFFY.organism, Literal("Homo sapiens")))
+
+    # ---- ChEBI -----------------------------------------------------------
+    chebi: list[Triple] = []
+    for i, compound in enumerate(chebi_compounds):
+        chebi.append(Triple(compound, RDF_TYPE, CHEBI.Compound))
+        chebi.append(Triple(compound, CHEBI.name, Literal(f"chebi-compound-{i}")))
+        chebi.append(Triple(compound, CHEBI.mass, typed_literal(50.0 + i)))
+        chebi.append(Triple(compound, CHEBI.status, Literal("checked" if i % 3 else "draft")))
+
+    # ---- KEGG ------------------------------------------------------------
+    kegg: list[Triple] = []
+    for i, compound in enumerate(kegg_compounds):
+        kegg.append(Triple(compound, RDF_TYPE, KEGG.Compound))
+        kegg.append(Triple(compound, KEGG.name, Literal(f"kegg-compound-{i}")))
+        kegg.append(Triple(compound, KEGG.mass, typed_literal(60.0 + i)))
+        kegg.append(Triple(compound, OWL_SAMEAS, chebi_compounds[i % len(chebi_compounds)]))
+
+    # ---- DrugBank ---------------------------------------------------------
+    drugbank: list[Triple] = []
+    for i in range(sizes.drugs):
+        drug = DRUGB[f"drug{i}"]
+        drugbank.append(Triple(drug, RDF_TYPE, DRUGB.Drug))
+        drugbank.append(Triple(drug, DRUGB.name, Literal(f"drug-{i}")))
+        drugbank.append(Triple(drug, DRUGB.casNumber, Literal(f"CAS-{2000 + i}")))
+        drugbank.append(Triple(drug, DRUGB.keggCompoundId, kegg_compounds[i % len(kegg_compounds)]))
+        drugbank.append(Triple(drug, DRUGB.chebiIngredient, chebi_compounds[i % len(chebi_compounds)]))
+        drugbank.append(Triple(drug, OWL_SAMEAS, dbp_drugs[i]))
+        drugbank.append(
+            Triple(drug, DRUGB.indication, Literal(_CANCER_TYPES[i % len(_CANCER_TYPES)]))
+        )
+
+    # ---- DBpedia subset ----------------------------------------------------
+    dbpedia: list[Triple] = []
+    for i, drug in enumerate(dbp_drugs):
+        dbpedia.append(Triple(drug, RDF_TYPE, DBPO.Drug))
+        dbpedia.append(Triple(drug, RDFS_LABEL, Literal(f"Drug {i}")))
+        dbpedia.append(Triple(drug, DBPO.abstract, Literal(f"Abstract of drug {i} " + "x" * 60)))
+    for i, film in enumerate(dbp_films):
+        dbpedia.append(Triple(film, RDF_TYPE, DBPO.Film))
+        dbpedia.append(Triple(film, RDFS_LABEL, Literal(f"Film {i}")))
+        dbpedia.append(Triple(film, DBPO.director, DBP[f"Director_{i % 20}"]))
+    for i in range(20):
+        director = DBP[f"Director_{i}"]
+        dbpedia.append(Triple(director, RDF_TYPE, DBPO.Person))
+        dbpedia.append(Triple(director, RDFS_LABEL, Literal(f"Director {i}")))
+    for i in range(sizes.dbpedia_entities):
+        entity = DBP[f"Entity_{i}"]
+        dbpedia.append(Triple(entity, RDF_TYPE, DBPO.Organisation if i % 2 else DBPO.Place))
+        dbpedia.append(Triple(entity, RDFS_LABEL, Literal(f"Entity {i}")))
+
+    # ---- GeoNames -----------------------------------------------------------
+    geonames: list[Triple] = []
+    for i, place in enumerate(places):
+        geonames.append(Triple(place, RDF_TYPE, GEO.Feature))
+        geonames.append(Triple(place, GEO.name, Literal(f"Place-{i}")))
+        geonames.append(Triple(place, GEO.countryCode, Literal(_COUNTRIES[i % len(_COUNTRIES)])))
+        geonames.append(Triple(place, GEO.population, typed_literal(1000 * (i + 1))))
+
+    # ---- Jamendo --------------------------------------------------------------
+    jamendo: list[Triple] = []
+    for i in range(sizes.artists):
+        artist = JAM[f"artist{i}"]
+        record = JAM[f"record{i}"]
+        jamendo.append(Triple(artist, RDF_TYPE, JAM.Artist))
+        jamendo.append(Triple(artist, JAM.name, Literal(f"Artist-{i}")))
+        jamendo.append(Triple(artist, JAM.basedNear, places[(i * 2) % len(places)]))
+        jamendo.append(Triple(record, RDF_TYPE, JAM.Record))
+        jamendo.append(Triple(record, JAM.title, Literal(f"Record-{i}")))
+        jamendo.append(Triple(record, JAM.madeBy, artist))
+
+    # ---- LinkedMDB --------------------------------------------------------------
+    linkedmdb: list[Triple] = []
+    for i in range(sizes.films):
+        film = MDB[f"film{i}"]
+        linkedmdb.append(Triple(film, RDF_TYPE, MDB.Film))
+        linkedmdb.append(Triple(film, MDB.title, Literal(f"Film {i}")))
+        linkedmdb.append(Triple(film, MDB.director, MDB[f"director{i % 15}"]))
+        linkedmdb.append(Triple(film, OWL_SAMEAS, dbp_films[i % len(dbp_films)]))
+        linkedmdb.append(Triple(film, MDB.year, typed_literal(1980 + i % 40)))
+    for i in range(15):
+        director = MDB[f"director{i}"]
+        linkedmdb.append(Triple(director, RDF_TYPE, MDB.Director))
+        linkedmdb.append(Triple(director, MDB.name, Literal(f"MDB Director {i}")))
+
+    # ---- New York Times -----------------------------------------------------------
+    nytimes: list[Triple] = []
+    for i in range(sizes.topics):
+        topic = NYT[f"topic{i}"]
+        nytimes.append(Triple(topic, RDF_TYPE, NYT.Topic))
+        nytimes.append(Triple(topic, NYT.name, Literal(f"Topic {i}")))
+        target = dbp_drugs[i % len(dbp_drugs)] if i % 2 else dbp_films[i % len(dbp_films)]
+        nytimes.append(Triple(topic, OWL_SAMEAS, target))
+        nytimes.append(Triple(topic, NYT.articleCount, typed_literal(5 + i % 120)))
+
+    # ---- Semantic Web Dog Food -------------------------------------------------------
+    swdogfood: list[Triple] = []
+    for i in range(sizes.papers):
+        paper = SWDF[f"paper{i}"]
+        author = SWDF[f"person{i % 12}"]
+        swdogfood.append(Triple(paper, RDF_TYPE, SWDF.Paper))
+        swdogfood.append(Triple(paper, SWDF.title, Literal(f"Paper {i}")))
+        swdogfood.append(Triple(paper, SWDF.author, author))
+    for i in range(12):
+        person = SWDF[f"person{i}"]
+        swdogfood.append(Triple(person, RDF_TYPE, SWDF.Person))
+        swdogfood.append(Triple(person, SWDF.name, Literal(f"Researcher {i}")))
+        swdogfood.append(Triple(person, SWDF.affiliation, DBP[f"Entity_{(i * 2 + 1) % sizes.dbpedia_entities}"]))
+
+    data = {
+        "tcga-m": tcga_m,
+        "tcga-e": tcga_e,
+        "tcga-a": tcga_a,
+        "chebi": chebi,
+        "dbpedia": dbpedia,
+        "drugbank": drugbank,
+        "geonames": geonames,
+        "jamendo": jamendo,
+        "kegg": kegg,
+        "linkedmdb": linkedmdb,
+        "nytimes": nytimes,
+        "swdogfood": swdogfood,
+        "affymetrix": affymetrix,
+    }
+    federation = Federation()
+    for name, region in zip(ENDPOINT_NAMES, regions):
+        federation.add(Endpoint(name=name, triples=data[name], region=region))
+    return federation

@@ -1,0 +1,195 @@
+"""QFed-style federated life-science benchmark (Rakhmawati et al. 2014).
+
+Four interlinked datasets, one endpoint each, mirroring QFed's real
+sources:
+
+* **Diseasome** — diseases with names and ``possibleDrug`` links into
+  DrugBank;
+* **DrugBank** — drugs with generic names, CAS numbers, and ``target``
+  links back to Diseasome diseases;
+* **DailyMed** — marketed medicines with ``genericMedicine`` links into
+  DrugBank and a **big literal** ``fullText`` field (the package insert)
+  that drives QFed's "big literal object" query variants;
+* **Sider** — side-effect records with ``drug`` links into DrugBank.
+
+The query family follows QFed's naming: ``C2P2`` (two classes, two
+cross-dataset predicates) with suffixes ``F`` (high-selectivity FILTER),
+``B`` (big literal retrieval), ``O`` (OPTIONAL block), and their
+combinations — the eight workloads of the paper's Fig 11 — plus the
+``Drug`` query used in the Sec II motivation experiment (Fig 3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.endpoint.endpoint import Endpoint
+from repro.endpoint.federation import Federation
+from repro.net import regions as regions_module
+from repro.rdf.namespaces import Namespace, RDF_TYPE
+from repro.rdf.terms import Literal
+from repro.rdf.triple import Triple
+
+DISE = Namespace("http://diseasome.example.org/resource/")
+DB = Namespace("http://drugbank.example.org/resource/")
+DM = Namespace("http://dailymed.example.org/resource/")
+SID = Namespace("http://sider.example.org/resource/")
+
+QFED_PREFIXES = (
+    "PREFIX dise: <http://diseasome.example.org/resource/>\n"
+    "PREFIX db: <http://drugbank.example.org/resource/>\n"
+    "PREFIX dm: <http://dailymed.example.org/resource/>\n"
+    "PREFIX sid: <http://sider.example.org/resource/>\n"
+)
+
+_DISEASE_NAMES = [
+    "Asthma",
+    "Diabetes",
+    "Hypertension",
+    "Migraine",
+    "Epilepsy",
+    "Anemia",
+    "Arthritis",
+    "Psoriasis",
+    "Glaucoma",
+    "Bronchitis",
+]
+
+
+def _big_literal(rng: random.Random, drug_index: int, words: int) -> Literal:
+    """The DailyMed package-insert text: a multi-kilobyte literal."""
+    vocabulary = (
+        "indication dosage administration contraindication warning adverse "
+        "reaction interaction pharmacology clinical overdose storage"
+    ).split()
+    text = " ".join(rng.choice(vocabulary) for __ in range(words))
+    return Literal(f"Label for drug {drug_index}: {text}")
+
+
+def build_federation(
+    diseases: int = 60,
+    drugs: int = 150,
+    marketed: int = 120,
+    side_effects: int = 200,
+    big_literal_words: int = 400,
+    drugs_per_disease: int = 3,
+    seed: int = 42,
+    geo: bool = False,
+) -> Federation:
+    """Build the four QFed endpoints with deterministic interlinks."""
+    rng = random.Random(f"qfed:{seed}")
+    regions = (
+        regions_module.assign_regions(4) if geo else [regions_module.LOCAL] * 4
+    )
+
+    drug_iris = [DB[f"drug{i}"] for i in range(drugs)]
+    disease_iris = [DISE[f"disease{i}"] for i in range(diseases)]
+
+    # ---- DrugBank -------------------------------------------------------
+    drugbank: list[Triple] = []
+    for i, drug in enumerate(drug_iris):
+        drugbank.append(Triple(drug, RDF_TYPE, DB.Drug))
+        drugbank.append(Triple(drug, DB.genericName, Literal(f"generic-{i}")))
+        drugbank.append(Triple(drug, DB.casRegistryNumber, Literal(f"CAS-{1000 + i}")))
+        # Each drug targets one disease (an interlink into Diseasome).
+        target = disease_iris[i % diseases]
+        drugbank.append(Triple(drug, DB.target, target))
+
+    # ---- Diseasome ------------------------------------------------------
+    diseasome: list[Triple] = []
+    for i, disease in enumerate(disease_iris):
+        name = _DISEASE_NAMES[i] if i < len(_DISEASE_NAMES) else f"Condition-{i}"
+        diseasome.append(Triple(disease, RDF_TYPE, DISE.Disease))
+        diseasome.append(Triple(disease, DISE.name, Literal(name)))
+        diseasome.append(Triple(disease, DISE.degree, Literal(str(rng.randrange(1, 9)))))
+        # Each disease links to a few possible drugs (interlink to DrugBank).
+        for k in range(drugs_per_disease):
+            drug = drug_iris[(i * drugs_per_disease + k) % drugs]
+            diseasome.append(Triple(disease, DISE.possibleDrug, drug))
+
+    # ---- DailyMed -------------------------------------------------------
+    dailymed: list[Triple] = []
+    for i in range(marketed):
+        medicine = DM[f"medicine{i}"]
+        drug = drug_iris[i % drugs]
+        dailymed.append(Triple(medicine, RDF_TYPE, DM.MarketedDrug))
+        dailymed.append(Triple(medicine, DM.name, Literal(f"brand-{i}")))
+        dailymed.append(Triple(medicine, DM.genericMedicine, drug))
+        dailymed.append(Triple(medicine, DM.route, Literal("oral" if i % 2 else "iv")))
+        dailymed.append(Triple(medicine, DM.fullText, _big_literal(rng, i, big_literal_words)))
+
+    # ---- Sider ----------------------------------------------------------
+    sider: list[Triple] = []
+    effects = ["nausea", "headache", "dizziness", "fatigue", "rash", "insomnia"]
+    for i in range(side_effects):
+        record = SID[f"effect{i}"]
+        drug = drug_iris[rng.randrange(drugs)]
+        sider.append(Triple(record, RDF_TYPE, SID.SideEffect))
+        sider.append(Triple(record, SID.drug, drug))
+        sider.append(Triple(record, SID.effectName, Literal(rng.choice(effects))))
+
+    federation = Federation()
+    for name, triples, region in (
+        ("diseasome", diseasome, regions[0]),
+        ("drugbank", drugbank, regions[1]),
+        ("dailymed", dailymed, regions[2]),
+        ("sider", sider, regions[3]),
+    ):
+        federation.add(Endpoint(name=name, triples=triples, region=region))
+    return federation
+
+
+# --------------------------------------------------------------------------
+# The C2P2 query family (paper Fig 11) and the Drug query (paper Fig 3).
+
+
+def _c2p2(filter_clause: bool, big: bool, optional: bool) -> str:
+    lines = [
+        "SELECT ?disease ?drug ?medicine"
+        + (" ?text" if big else "")
+        + (" ?effect" if optional else "")
+        + " WHERE {",
+        "  ?disease a dise:Disease .",
+        "  ?disease dise:possibleDrug ?drug .",
+        "  ?drug a db:Drug .",
+        "  ?medicine dm:genericMedicine ?drug .",
+    ]
+    if big:
+        lines.append("  ?medicine dm:fullText ?text .")
+    if filter_clause:
+        lines.append('  ?disease dise:name ?dn . FILTER (?dn = "Asthma")')
+    if optional:
+        lines.append("  OPTIONAL { ?se sid:drug ?drug . ?se sid:effectName ?effect . }")
+    lines.append("}")
+    return QFED_PREFIXES + "\n".join(lines)
+
+
+def queries() -> dict[str, str]:
+    """The eight QFed queries of Fig 11 (keyed by the paper's labels)."""
+    return {
+        "C2P2": _c2p2(filter_clause=False, big=False, optional=False),
+        "C2P2F": _c2p2(filter_clause=True, big=False, optional=False),
+        "C2P2B": _c2p2(filter_clause=False, big=True, optional=False),
+        "C2P2BF": _c2p2(filter_clause=True, big=True, optional=False),
+        "C2P2BO": _c2p2(filter_clause=False, big=True, optional=True),
+        "C2P2BOF": _c2p2(filter_clause=True, big=True, optional=True),
+        "C2P2OF": _c2p2(filter_clause=True, big=False, optional=True),
+        "C2P2O": _c2p2(filter_clause=False, big=False, optional=True),
+    }
+
+
+def drug_query() -> str:
+    """The QFed Drug query used in the paper's Sec II experiment:
+    medicines that target asthma, with optional marketed-drug details."""
+    return QFED_PREFIXES + """
+SELECT ?drug ?name ?medicine ?route WHERE {
+  ?disease a dise:Disease .
+  ?disease dise:name "Asthma" .
+  ?disease dise:possibleDrug ?drug .
+  ?drug db:genericName ?name .
+  OPTIONAL {
+    ?medicine dm:genericMedicine ?drug .
+    ?medicine dm:route ?route .
+  }
+}
+"""

@@ -1,0 +1,125 @@
+"""The full LUBM query suite (L1-L14), adapted for a federation.
+
+The paper uses only the four queries of its Sec VI; this module adapts
+the complete LUBM workload (Guo, Pan & Heflin 2005) so the engines can
+be exercised on the whole benchmark.  Adaptations, as is standard for
+systems without OWL inference:
+
+* class hierarchies are replaced by the concrete generated classes
+  (e.g. ``Professor`` -> ``FullProfessor``/``AssociateProfessor``);
+* inverse/transitive properties are replaced by the asserted ones;
+* queries referencing a specific university/department use index 0.
+
+Queries whose semantics collapse without inference (L8, L10-L13 overlap
+heavily with others) are kept as close analogs so all fourteen remain
+distinct and answerable.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.lubm import university_iri
+
+_PREFIX = "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+
+
+def _dept0(university_index: int = 0) -> str:
+    return f"http://www.university{university_index}.example.org/department0"
+
+
+def queries(university_index: int = 0) -> dict[str, str]:
+    """All fourteen adapted LUBM queries."""
+    univ0 = university_iri(university_index).value
+    dept0 = _dept0(university_index)
+    return {
+        # L1: graduate students taking a specific course.
+        "L1": _PREFIX + f"""
+SELECT ?x WHERE {{
+  ?x a ub:GraduateStudent .
+  ?x ub:takesCourse <{dept0}/course0_0> .
+}}""",
+        # L2: the triangle — students with an undergraduate degree from
+        # the university their department belongs to (paper's Q1).
+        "L2": _PREFIX + """
+SELECT ?x ?y ?z WHERE {
+  ?x a ub:GraduateStudent .
+  ?y a ub:University .
+  ?z a ub:Department .
+  ?x ub:memberOf ?z .
+  ?z ub:subOrganizationOf ?y .
+  ?x ub:undergraduateDegreeFrom ?y .
+}""",
+        # L3: publications-like: courses taught by a specific professor.
+        "L3": _PREFIX + f"""
+SELECT ?x WHERE {{
+  ?x a ub:GraduateCourse .
+  <{dept0}/professor0> ub:teacherOf ?x .
+}}""",
+        # L4: professors of a department with contact details.
+        "L4": _PREFIX + f"""
+SELECT ?x ?name ?email WHERE {{
+  ?x ub:worksFor <{dept0}> .
+  ?x ub:name ?name .
+  ?x ub:emailAddress ?email .
+}}""",
+        # L5: members of a department (students and staff).
+        "L5": _PREFIX + f"""
+SELECT ?x WHERE {{
+  ?x ub:memberOf <{dept0}> .
+}}""",
+        # L6: all graduate students.
+        "L6": _PREFIX + """
+SELECT ?x WHERE { ?x a ub:GraduateStudent . }""",
+        # L7: courses taken by students advised by a given professor.
+        "L7": _PREFIX + f"""
+SELECT ?x ?y WHERE {{
+  ?x a ub:GraduateStudent .
+  ?x ub:advisor <{dept0}/professor0> .
+  ?x ub:takesCourse ?y .
+}}""",
+        # L8: students of departments of a specific university, with email.
+        "L8": _PREFIX + f"""
+SELECT ?x ?y WHERE {{
+  ?x a ub:GraduateStudent .
+  ?x ub:memberOf ?y .
+  ?y ub:subOrganizationOf <{univ0}> .
+}}""",
+        # L9: the advisor/course triangle (paper's Q2).
+        "L9": _PREFIX + """
+SELECT ?x ?y ?z WHERE {
+  ?x a ub:GraduateStudent .
+  ?y a ub:FullProfessor .
+  ?z a ub:GraduateCourse .
+  ?x ub:advisor ?y .
+  ?y ub:teacherOf ?z .
+  ?x ub:takesCourse ?z .
+}""",
+        # L10: students taking any course of a specific department.
+        "L10": _PREFIX + f"""
+SELECT ?x ?c WHERE {{
+  ?x a ub:UndergraduateStudent .
+  ?x ub:memberOf <{dept0}> .
+  ?x ub:takesCourse ?c .
+}}""",
+        # L11: research-group analog — departments of a university.
+        "L11": _PREFIX + f"""
+SELECT ?x WHERE {{
+  ?x a ub:Department .
+  ?x ub:subOrganizationOf <{univ0}> .
+}}""",
+        # L12: department heads of a university.
+        "L12": _PREFIX + f"""
+SELECT ?x ?y WHERE {{
+  ?x ub:headOf ?y .
+  ?y a ub:Department .
+  ?y ub:subOrganizationOf <{univ0}> .
+}}""",
+        # L13: alumni — people with a degree from a university (paper Q3).
+        "L13": _PREFIX + f"""
+SELECT ?x WHERE {{
+  ?x a ub:GraduateStudent .
+  ?x ub:undergraduateDegreeFrom <{univ0}> .
+}}""",
+        # L14: all undergraduate students (the classic full scan).
+        "L14": _PREFIX + """
+SELECT ?x WHERE { ?x a ub:UndergraduateStudent . }""",
+    }

@@ -1,0 +1,160 @@
+"""Random decentralized federations + random queries for property tests.
+
+The generator produces federations obeying the **decentralized-authority
+discipline** the paper's completeness argument rests on (see DESIGN.md):
+
+* every entity has a home endpoint and all its outgoing triples live
+  there;
+* shared vocabulary (``rdf:type``, data predicates, local link
+  predicates) is used only with *local* objects;
+* cross-endpoint interlinks use a **per-endpoint link predicate**
+  (``ref0``, ``ref1``, ...), as real LOD datasets do (each dataset mints
+  its own linking property).  This keeps every remote-reference pattern
+  single-source, so LADE's pairwise locality checks are sound for every
+  query the random query generator can produce.
+
+Random queries are connected conjunctive patterns (paths and stars) over
+this vocabulary, optionally with a type constraint and a FILTER.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.endpoint.endpoint import Endpoint
+from repro.endpoint.federation import Federation
+from repro.rdf.namespaces import Namespace, RDF_TYPE
+from repro.rdf.terms import IRI, Variable, typed_literal
+from repro.rdf.triple import Triple, TriplePattern
+from repro.sparql.ast import BGP, GroupPattern, SelectQuery
+
+VOCAB = Namespace("http://vocab.example.org/")
+
+CLASSES = [VOCAB[f"Class{i}"] for i in range(3)]
+DATA_PREDICATES = [VOCAB[f"data{i}"] for i in range(3)]
+LOCAL_LINKS = [VOCAB[f"link{i}"] for i in range(2)]
+
+
+def remote_link(endpoint_index: int) -> IRI:
+    """The interlink predicate minted by one endpoint."""
+    return VOCAB[f"ref{endpoint_index}"]
+
+
+@dataclass(frozen=True)
+class FederationShape:
+    endpoints: int = 3
+    entities_per_endpoint: int = 12
+    local_links_per_entity: int = 2
+    remote_links_per_entity: int = 1
+
+
+def build_random_federation(seed: int, shape: FederationShape | None = None) -> Federation:
+    """A seeded random federation obeying the authority discipline."""
+    shape = shape or FederationShape()
+    rng = random.Random(f"randomfed:{seed}")
+    entity_iris = [
+        [
+            IRI(f"http://ep{ep}.example.org/entity{i}")
+            for i in range(shape.entities_per_endpoint)
+        ]
+        for ep in range(shape.endpoints)
+    ]
+
+    federation = Federation()
+    for ep in range(shape.endpoints):
+        triples: list[Triple] = []
+        locals_ = entity_iris[ep]
+        for i, entity in enumerate(locals_):
+            triples.append(Triple(entity, RDF_TYPE, CLASSES[i % len(CLASSES)]))
+            for predicate in DATA_PREDICATES:
+                if rng.random() < 0.7:
+                    triples.append(
+                        Triple(entity, predicate, typed_literal(rng.randrange(0, 20)))
+                    )
+            for __ in range(shape.local_links_per_entity):
+                target = rng.choice(locals_)
+                triples.append(Triple(entity, rng.choice(LOCAL_LINKS), target))
+            if shape.endpoints > 1:
+                for __ in range(shape.remote_links_per_entity):
+                    other = rng.randrange(shape.endpoints)
+                    if other == ep:
+                        continue
+                    target = rng.choice(entity_iris[other])
+                    triples.append(Triple(entity, remote_link(ep), target))
+        federation.add(Endpoint(name=f"ep{ep}", triples=triples))
+    return federation
+
+
+def build_random_query(seed: int, federation_endpoints: int, max_patterns: int = 5) -> SelectQuery:
+    """A connected conjunctive query over the shared vocabulary."""
+    rng = random.Random(f"randomquery:{seed}")
+    link_choices = list(LOCAL_LINKS) + [
+        remote_link(ep) for ep in range(federation_endpoints)
+    ]
+
+    patterns: list[TriplePattern] = []
+    variables = [Variable("v0")]
+    pattern_count = rng.randrange(2, max_patterns + 1)
+
+    if rng.random() < 0.6:
+        patterns.append(TriplePattern(variables[0], RDF_TYPE, rng.choice(CLASSES)))
+
+    frontier = [variables[0]]
+    while len(patterns) < pattern_count:
+        source = rng.choice(frontier)
+        roll = rng.random()
+        if roll < 0.4:
+            # Data property: ends in a literal-valued variable.
+            value_var = Variable(f"v{len(variables)}")
+            variables.append(value_var)
+            patterns.append(TriplePattern(source, rng.choice(DATA_PREDICATES), value_var))
+        elif roll < 0.85:
+            # Link to a new entity variable (path growth).
+            target = Variable(f"v{len(variables)}")
+            variables.append(target)
+            patterns.append(TriplePattern(source, rng.choice(link_choices), target))
+            frontier.append(target)
+        else:
+            # Type constraint on an existing frontier variable.
+            patterns.append(TriplePattern(source, RDF_TYPE, rng.choice(CLASSES)))
+
+    # Deduplicate while preserving order (random choices can repeat).
+    unique: list[TriplePattern] = []
+    for pattern in patterns:
+        if pattern not in unique:
+            unique.append(pattern)
+
+    project = sorted({v for p in unique for v in p.variables()}, key=lambda v: v.name)
+    return SelectQuery(where=GroupPattern([BGP(unique)]), select_vars=tuple(project))
+
+
+def build_random_optional_query(
+    seed: int, federation_endpoints: int, max_patterns: int = 4
+) -> SelectQuery:
+    """A random conjunctive query plus one OPTIONAL block.
+
+    The block extends a variable of the required part with a data
+    property or an outgoing link, exercising the engines' left-join
+    paths under the same authority discipline.
+    """
+    from repro.sparql.ast import OptionalPattern
+
+    rng = random.Random(f"randomopt:{seed}")
+    base = build_random_query(seed, federation_endpoints, max_patterns)
+    base_bgp = base.where.elements[0]
+    assert isinstance(base_bgp, BGP)
+    base_vars = sorted(
+        {v for p in base_bgp.triples for v in p.variables()}, key=lambda v: v.name
+    )
+    anchor = rng.choice(base_vars)
+    extra = Variable("opt0")
+    link_choices = list(DATA_PREDICATES) + list(LOCAL_LINKS) + [
+        remote_link(ep) for ep in range(federation_endpoints)
+    ]
+    optional_pattern = TriplePattern(anchor, rng.choice(link_choices), extra)
+    where = GroupPattern(
+        [base_bgp, OptionalPattern(GroupPattern([BGP([optional_pattern])]))]
+    )
+    project = tuple(base_vars) + (extra,)
+    return SelectQuery(where=where, select_vars=project)

@@ -1,0 +1,15 @@
+"""Endpoints, federations, caches, and the mediator-side client."""
+
+from repro.endpoint.cache import EngineCaches, MISSING, ProbeCache
+from repro.endpoint.client import FederationClient
+from repro.endpoint.endpoint import Endpoint
+from repro.endpoint.federation import Federation
+
+__all__ = [
+    "Endpoint",
+    "EngineCaches",
+    "Federation",
+    "FederationClient",
+    "MISSING",
+    "ProbeCache",
+]

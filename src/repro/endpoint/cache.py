@@ -1,0 +1,76 @@
+"""Caches for remote probe results.
+
+The paper: "To take advantage of previously submitted ASK queries, Lusail
+caches their results in a hash table", and Fig 10(b,c) measures response
+time with and without caching ASK *and* check queries.  FedX caches its
+source-selection ASKs the same way, and SAPE's COUNT statistics are also
+cacheable.
+
+Keys are ``(endpoint_name, query AST)``; AST nodes are immutable and
+hashable, so no serialization is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+
+#: Sentinel distinguishing "not cached" from a cached falsy value
+#: (ASK probes legitimately cache ``False``).
+MISSING = object()
+
+
+class ProbeCache:
+    """A hash-table cache for one kind of probe result."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._table: dict[Hashable, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable):
+        """Cached value, or :data:`MISSING`.  Counts hit/miss statistics."""
+        if not self.enabled:
+            return MISSING
+        value = self._table.get(key, MISSING)
+        if value is MISSING:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.enabled:
+            self._table[key] = value
+
+    def clear(self) -> None:
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+@dataclass
+class EngineCaches:
+    """The cache set a federation engine keeps across queries."""
+
+    ask: ProbeCache = field(default_factory=ProbeCache)
+    check: ProbeCache = field(default_factory=ProbeCache)
+    count: ProbeCache = field(default_factory=ProbeCache)
+
+    @classmethod
+    def disabled(cls) -> "EngineCaches":
+        return cls(
+            ask=ProbeCache(enabled=False),
+            check=ProbeCache(enabled=False),
+            count=ProbeCache(enabled=False),
+        )
+
+    def clear(self) -> None:
+        self.ask.clear()
+        self.check.clear()
+        self.count.clear()

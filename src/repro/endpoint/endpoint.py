@@ -1,0 +1,83 @@
+"""A simulated SPARQL endpoint.
+
+An endpoint wraps a :class:`~repro.store.TripleStore` with the SPARQL
+evaluator and a region tag.  It is the stand-in for the Jena Fuseki /
+Virtuoso instances the paper deployed: federation engines only talk to it
+through :class:`~repro.endpoint.client.FederationClient`, which adds the
+virtual network costs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import EvaluationError
+from repro.net import regions as regions_module
+from repro.rdf.triple import Triple, TriplePattern
+from repro.sparql.ast import AskQuery, Query, SelectQuery
+from repro.sparql.evaluator import SelectResult, evaluate_ask, evaluate_select
+from repro.store.triple_store import TripleStore
+
+
+class Endpoint:
+    """One independently administered SPARQL endpoint."""
+
+    def __init__(
+        self,
+        name: str,
+        triples: Iterable[Triple] = (),
+        region: str = regions_module.LOCAL,
+    ):
+        self.name = name
+        self.region = region
+        self.store = TripleStore(name=name)
+        self.store.add_all(triples)
+        #: Failure injection: an unavailable endpoint refuses requests,
+        #: which engines surface as a runtime error (the paper's plots
+        #: annotate such runs as errors rather than timeouts).
+        self.available = True
+        #: Real public endpoints cap result sizes (e.g. Virtuoso's
+        #: default 10K-row limit on Bio2RDF).  When set, SELECT results
+        #: are silently truncated — engines that fetch whole extents
+        #: lose rows, while bound/selective strategies stay correct.
+        self.result_limit: int | None = None
+
+    def __repr__(self) -> str:
+        return f"Endpoint({self.name!r}, region={self.region!r}, triples={len(self.store)})"
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    # ------------------------------------------------------------- queries
+
+    def select(self, query: SelectQuery) -> SelectResult:
+        """Run a SELECT query locally (truncated at ``result_limit``)."""
+        result = evaluate_select(self.store, query)
+        if self.result_limit is not None and len(result) > self.result_limit:
+            result.rows = result.rows[: self.result_limit]
+        return result
+
+    def ask(self, query: AskQuery) -> bool:
+        """Run an ASK query locally."""
+        return evaluate_ask(self.store, query)
+
+    def ask_pattern(self, pattern: TriplePattern) -> bool:
+        """ASK over one triple pattern (the source-selection probe)."""
+        return self.store.ask(pattern.subject, pattern.predicate, pattern.object)
+
+    def count_pattern(self, pattern: TriplePattern) -> int:
+        """COUNT over one triple pattern (the SAPE statistics probe)."""
+        return self.store.count(pattern.subject, pattern.predicate, pattern.object)
+
+    def evaluate(self, query: Query):
+        if isinstance(query, SelectQuery):
+            return self.select(query)
+        if isinstance(query, AskQuery):
+            return self.ask(query)
+        raise EvaluationError(f"unsupported query type {type(query).__name__}")
+
+    def add(self, triple: Triple) -> bool:
+        return self.store.add(triple)
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        return self.store.add_all(triples)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  The hierarchy mirrors the layers of
+the system: data-model errors, SPARQL parse/evaluation errors, network and
+federation errors, and harness-level errors (timeouts, resource limits).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class TermError(ReproError):
+    """An RDF term was constructed from invalid input."""
+
+
+class ParseError(ReproError):
+    """Input text could not be parsed (N-Triples or SPARQL).
+
+    Carries the offending position so callers can report a useful message.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated (unsupported construct, bad state)."""
+
+
+class UnsupportedQueryError(EvaluationError):
+    """The query uses a SPARQL feature outside the supported subset."""
+
+
+class NetworkError(ReproError):
+    """A simulated remote request failed."""
+
+
+class UnknownEndpointError(NetworkError):
+    """A request was addressed to an endpoint not in the federation."""
+
+
+class FederationError(ReproError):
+    """Federated query processing failed at the mediator."""
+
+
+class QueryTimeoutError(FederationError):
+    """Virtual-time budget for a query was exhausted.
+
+    Mirrors the paper's one-hour timeout: engines abort once simulated time
+    exceeds the configured budget, and the harness reports ``TIMEOUT``.
+    """
+
+    def __init__(self, message: str, elapsed_ms: float):
+        super().__init__(message)
+        self.elapsed_ms = elapsed_ms
+
+
+class MemoryLimitError(FederationError):
+    """Mediator exceeded its intermediate-result row budget.
+
+    Mirrors the out-of-memory failures the paper reports for FedX and
+    HiBISCuS on large queries.
+    """
+
+    def __init__(self, message: str, rows: int):
+        super().__init__(message)
+        self.rows = rows

@@ -1,0 +1,24 @@
+"""Experiment harness: per-figure experiment functions, runner, reporting."""
+
+from repro.harness.reporting import format_table, print_banner, results_by_query, speedup_summary
+from repro.harness.runner import (
+    DEFAULT_TIMEOUT_MS,
+    ENGINE_ORDER,
+    RunResult,
+    make_engines,
+    run_matrix,
+    run_query,
+)
+
+__all__ = [
+    "DEFAULT_TIMEOUT_MS",
+    "ENGINE_ORDER",
+    "RunResult",
+    "format_table",
+    "make_engines",
+    "print_banner",
+    "results_by_query",
+    "run_matrix",
+    "run_query",
+    "speedup_summary",
+]

@@ -1,0 +1,49 @@
+"""Virtual-time network simulation and request metrics."""
+
+from repro.net.metrics import (
+    ASK,
+    BOUND,
+    CHECK,
+    COUNT,
+    QueryMetrics,
+    REQUEST_KINDS,
+    RequestRecord,
+    SELECT,
+    total_requests,
+)
+from repro.net.regions import (
+    AZURE_REGIONS,
+    CENTRAL_US,
+    LOCAL,
+    assign_regions,
+    rtt_ms,
+)
+from repro.net.simulator import (
+    MediatorCostModel,
+    NetworkConfig,
+    VirtualNetwork,
+    geo_distributed_config,
+    local_cluster_config,
+)
+
+__all__ = [
+    "ASK",
+    "AZURE_REGIONS",
+    "BOUND",
+    "CENTRAL_US",
+    "CHECK",
+    "COUNT",
+    "LOCAL",
+    "MediatorCostModel",
+    "NetworkConfig",
+    "QueryMetrics",
+    "REQUEST_KINDS",
+    "RequestRecord",
+    "SELECT",
+    "VirtualNetwork",
+    "assign_regions",
+    "geo_distributed_config",
+    "local_cluster_config",
+    "rtt_ms",
+    "total_requests",
+]

@@ -1,0 +1,108 @@
+"""Request accounting for federated query execution.
+
+Every remote call an engine makes is recorded here: what kind of request
+(ASK probe, locality check, COUNT statistic, subquery SELECT, bound-join
+block), which endpoint served it, how many rows/bytes moved, and how much
+virtual time it took.  The benchmark harness reads these counters to
+regenerate the paper's request-count and response-time plots.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Request kinds, used for per-phase breakdowns.
+ASK = "ask"
+CHECK = "check"
+COUNT = "count"
+SELECT = "select"
+BOUND = "bound"
+
+REQUEST_KINDS = (ASK, CHECK, COUNT, SELECT, BOUND)
+
+
+@dataclass
+class RequestRecord:
+    """One remote request, as the simulator observed it."""
+
+    kind: str
+    endpoint: str
+    start_ms: float
+    end_ms: float
+    rows: int
+    request_bytes: int
+    response_bytes: int
+    cached: bool = False
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class QueryMetrics:
+    """Aggregated measurements for a single federated query execution."""
+
+    records: list[RequestRecord] = field(default_factory=list)
+    virtual_ms: float = 0.0
+    wall_ms: float = 0.0
+    phase_ms: dict[str, float] = field(default_factory=dict)
+    mediator_rows: int = 0
+    result_rows: int = 0
+    status: str = "ok"
+
+    def record(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------ queries
+
+    def request_count(self, *kinds: str, include_cached: bool = False) -> int:
+        """Number of remote requests, optionally filtered by kind.
+
+        Cache hits never touch the network and are excluded by default,
+        matching how the paper counts requests with warmed caches.
+        """
+        wanted = set(kinds) if kinds else None
+        return sum(
+            1
+            for record in self.records
+            if (include_cached or not record.cached)
+            and (wanted is None or record.kind in wanted)
+        )
+
+    def requests_by_kind(self) -> Counter:
+        return Counter(record.kind for record in self.records if not record.cached)
+
+    def rows_shipped(self, *kinds: str) -> int:
+        wanted = set(kinds) if kinds else None
+        return sum(
+            record.rows
+            for record in self.records
+            if not record.cached and (wanted is None or record.kind in wanted)
+        )
+
+    def bytes_shipped(self) -> int:
+        return sum(
+            record.request_bytes + record.response_bytes
+            for record in self.records
+            if not record.cached
+        )
+
+    def add_phase(self, phase: str, duration_ms: float) -> None:
+        self.phase_ms[phase] = self.phase_ms.get(phase, 0.0) + duration_ms
+
+    def merge(self, other: "QueryMetrics") -> None:
+        """Fold another metrics object into this one (multi-query runs)."""
+        self.records.extend(other.records)
+        self.virtual_ms += other.virtual_ms
+        self.wall_ms += other.wall_ms
+        self.mediator_rows = max(self.mediator_rows, other.mediator_rows)
+        self.result_rows += other.result_rows
+        for phase, duration in other.phase_ms.items():
+            self.add_phase(phase, duration)
+
+
+def total_requests(metrics_list: Iterable[QueryMetrics]) -> int:
+    return sum(metrics.request_count() for metrics in metrics_list)

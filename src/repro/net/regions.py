@@ -1,0 +1,94 @@
+"""Geographic regions and the inter-region latency model.
+
+The paper's geo-distributed experiment (Sec VI-D) deploys endpoints on
+7 Azure regions across the USA and Europe, with the mediator in Central
+US.  We reproduce that topology with a deterministic latency matrix whose
+values approximate typical Azure inter-region round-trip times (ms).
+
+``LOCAL`` models the paper's in-house clusters (1 Gb / 10 Gb Ethernet):
+sub-millisecond RTTs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import NetworkError
+
+#: Region identifiers.
+LOCAL = "local"
+CENTRAL_US = "central-us"
+EAST_US = "east-us"
+WEST_US = "west-us"
+NORTH_CENTRAL_US = "north-central-us"
+NORTH_EUROPE = "north-europe"
+WEST_EUROPE = "west-europe"
+UK_SOUTH = "uk-south"
+
+#: The 7 endpoint regions used by the geo-distributed experiments.
+AZURE_REGIONS = (
+    EAST_US,
+    WEST_US,
+    NORTH_CENTRAL_US,
+    NORTH_EUROPE,
+    WEST_EUROPE,
+    UK_SOUTH,
+    CENTRAL_US,
+)
+
+#: Round-trip times in milliseconds between regions (symmetric).
+_RTT_MS: dict[frozenset[str], float] = {}
+
+
+def _set_rtt(a: str, b: str, ms: float) -> None:
+    _RTT_MS[frozenset((a, b))] = ms
+
+
+_set_rtt(LOCAL, LOCAL, 0.5)
+
+# Same-region cloud traffic still crosses a datacenter network.
+for _region in AZURE_REGIONS:
+    _set_rtt(_region, _region, 2.0)
+
+# US <-> US
+_set_rtt(CENTRAL_US, EAST_US, 25.0)
+_set_rtt(CENTRAL_US, WEST_US, 45.0)
+_set_rtt(CENTRAL_US, NORTH_CENTRAL_US, 15.0)
+_set_rtt(EAST_US, WEST_US, 65.0)
+_set_rtt(EAST_US, NORTH_CENTRAL_US, 20.0)
+_set_rtt(WEST_US, NORTH_CENTRAL_US, 50.0)
+
+# US <-> Europe
+for _us in (CENTRAL_US, EAST_US, NORTH_CENTRAL_US):
+    _set_rtt(_us, NORTH_EUROPE, 95.0)
+    _set_rtt(_us, WEST_EUROPE, 100.0)
+    _set_rtt(_us, UK_SOUTH, 90.0)
+_set_rtt(WEST_US, NORTH_EUROPE, 135.0)
+_set_rtt(WEST_US, WEST_EUROPE, 145.0)
+_set_rtt(WEST_US, UK_SOUTH, 140.0)
+
+# Europe <-> Europe
+_set_rtt(NORTH_EUROPE, WEST_EUROPE, 20.0)
+_set_rtt(NORTH_EUROPE, UK_SOUTH, 12.0)
+_set_rtt(WEST_EUROPE, UK_SOUTH, 10.0)
+
+
+def rtt_ms(region_a: str, region_b: str) -> float:
+    """Round-trip time between two regions in milliseconds."""
+    key = frozenset((region_a, region_b))
+    rtt = _RTT_MS.get(key)
+    if rtt is None:
+        if LOCAL in key:
+            # Mixing the local cluster with cloud regions is a modelling
+            # error in an experiment definition; fail loudly.
+            raise NetworkError(f"no latency defined between {region_a} and {region_b}")
+        raise NetworkError(f"unknown region pair: {region_a} / {region_b}")
+    return rtt
+
+
+def assign_regions(count: int, mediator_region: str = CENTRAL_US) -> list[str]:
+    """Spread ``count`` endpoints round-robin over the Azure regions.
+
+    Mirrors the paper's setup: none of the endpoint VMs share the
+    mediator's region, so endpoints skip ``mediator_region``.
+    """
+    pool = [region for region in AZURE_REGIONS if region != mediator_region]
+    return [pool[index % len(pool)] for index in range(count)]

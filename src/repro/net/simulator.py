@@ -1,0 +1,182 @@
+"""Deterministic virtual-time network simulator.
+
+The paper's evaluation is dominated by two quantities: the **number of
+remote (HTTP) requests** and the **volume of intermediate results**
+shipped between endpoints and the mediator (Fig 3).  Instead of real
+sockets, every remote call goes through this simulator, which:
+
+* charges each request a round-trip latency from the region matrix plus
+  per-row endpoint-evaluation and transfer costs, and
+* serializes requests per endpoint on a virtual "lane" (one worker
+  thread per endpoint — the paper's Elastic Request Handler ideal case)
+  while letting requests to *different* endpoints overlap freely.
+
+Engines carry a clock cursor (``now``) and advance it with the values
+returned from :meth:`VirtualNetwork.request`.  Sequential code (bound
+joins) chains completion times; parallel fan-out takes the max.  The
+result is a deterministic response-time model that preserves the paper's
+serial-vs-parallel structure exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net import regions as regions_module
+from repro.net.metrics import QueryMetrics, RequestRecord
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Cost parameters for the virtual network.
+
+    ``row_transfer_ms`` models serialization + transfer per result row;
+    ``eval_base_ms`` and ``eval_row_ms`` model the endpoint's query
+    processing; ``request_overhead_ms`` models HTTP/connection overhead
+    on top of the raw RTT.
+    """
+
+    mediator_region: str = regions_module.LOCAL
+    request_overhead_ms: float = 0.3
+    row_transfer_ms: float = 0.01
+    eval_base_ms: float = 0.5
+    eval_row_ms: float = 0.005
+    #: Transfer time per payload byte (the inverse of bandwidth).
+    #: 1 Gb Ethernet moves ~125 KB per millisecond.
+    byte_transfer_ms: float = 1.0 / 125_000.0
+    #: Fallback per-row payload estimate when the caller does not
+    #: measure the actual serialized size.
+    response_bytes_per_row: int = 120
+    #: Concurrent outstanding requests the mediator can sustain (the
+    #: Elastic Request Handler's worker pool).  With more endpoints than
+    #: slots, probe fan-out serializes in waves — the mild growth the
+    #: paper's Fig 10(b,c) shows for source selection at 256 endpoints.
+    mediator_slots: int = 16
+
+    def rtt(self, endpoint_region: str) -> float:
+        return regions_module.rtt_ms(self.mediator_region, endpoint_region)
+
+
+def local_cluster_config() -> NetworkConfig:
+    """The paper's in-house cluster: sub-millisecond LAN, 1 Gb Ethernet."""
+    return NetworkConfig(mediator_region=regions_module.LOCAL)
+
+
+def geo_distributed_config(mediator_region: str = regions_module.CENTRAL_US) -> NetworkConfig:
+    """The paper's Azure federation: WAN latencies, ~10 MB/s throughput."""
+    return NetworkConfig(
+        mediator_region=mediator_region,
+        request_overhead_ms=1.0,
+        row_transfer_ms=0.05,
+        eval_base_ms=0.5,
+        eval_row_ms=0.005,
+        byte_transfer_ms=1.0 / 10_000.0,
+    )
+
+
+class VirtualNetwork:
+    """Per-query network state: endpoint lanes plus metrics.
+
+    A fresh instance is created for every federated query execution so
+    that lane congestion does not leak across queries.
+    """
+
+    def __init__(self, config: NetworkConfig, metrics: QueryMetrics):
+        self.config = config
+        self.metrics = metrics
+        self._lane_free_ms: dict[str, float] = {}
+        self._slot_free_ms: list[float] = [0.0] * max(1, config.mediator_slots)
+
+    def request(
+        self,
+        endpoint_name: str,
+        endpoint_region: str,
+        kind: str,
+        ready_at_ms: float,
+        result_rows: int,
+        request_bytes: int,
+        response_bytes: int | None = None,
+        cached: bool = False,
+    ) -> float:
+        """Schedule one remote request; returns its completion time (ms).
+
+        ``ready_at_ms`` is when the mediator issues the request.  The
+        request starts once the endpoint's lane is free (thread-per-
+        endpoint serialization) and costs RTT + evaluation + transfer.
+        Cache hits complete instantly and are recorded but not charged.
+        """
+        if cached:
+            self.metrics.record(
+                RequestRecord(
+                    kind=kind,
+                    endpoint=endpoint_name,
+                    start_ms=ready_at_ms,
+                    end_ms=ready_at_ms,
+                    rows=0,
+                    request_bytes=0,
+                    response_bytes=0,
+                    cached=True,
+                )
+            )
+            return ready_at_ms
+
+        config = self.config
+        if response_bytes is None:
+            response_bytes = result_rows * config.response_bytes_per_row
+        # A request needs a mediator worker slot and the endpoint's lane.
+        slot_index = min(range(len(self._slot_free_ms)), key=self._slot_free_ms.__getitem__)
+        start = max(
+            ready_at_ms,
+            self._lane_free_ms.get(endpoint_name, 0.0),
+            self._slot_free_ms[slot_index],
+        )
+        duration = (
+            config.rtt(endpoint_region)
+            + config.request_overhead_ms
+            + config.eval_base_ms
+            + result_rows * (config.eval_row_ms + config.row_transfer_ms)
+            + (request_bytes + response_bytes) * config.byte_transfer_ms
+        )
+        end = start + duration
+        self._lane_free_ms[endpoint_name] = end
+        self._slot_free_ms[slot_index] = end
+        self.metrics.record(
+            RequestRecord(
+                kind=kind,
+                endpoint=endpoint_name,
+                start_ms=start,
+                end_ms=end,
+                rows=result_rows,
+                request_bytes=request_bytes,
+                response_bytes=response_bytes,
+            )
+        )
+        return end
+
+    def lane_free_at(self, endpoint_name: str) -> float:
+        """When the endpoint's lane next becomes idle."""
+        return self._lane_free_ms.get(endpoint_name, 0.0)
+
+
+@dataclass
+class MediatorCostModel:
+    """Virtual-time costs for work done at the mediator itself.
+
+    The paper's join evaluation divides hash/probe work across the
+    threads holding each relation (Sec V-B).  ``join_ms`` applies that
+    formula; ``threads`` is the Elastic Request Handler pool size.
+    """
+
+    row_ms: float = 0.0005
+    threads: int = 8
+    per_thread: dict[str, int] = field(default_factory=dict)
+
+    def join_ms(self, build_rows: int, probe_rows: int, build_threads: int, probe_threads: int) -> float:
+        build_threads = max(1, build_threads)
+        probe_threads = max(1, probe_threads)
+        hashing = build_rows / build_threads
+        probing = probe_rows / probe_threads
+        return (hashing + probing) * self.row_ms
+
+    def scan_ms(self, rows: int) -> float:
+        return rows * self.row_ms

@@ -1,0 +1,34 @@
+"""Shared planning utilities: query normalization and source selection."""
+
+from repro.planning.normalize import (
+    Branch,
+    NormalizedQuery,
+    OptionalBlock,
+    normalize,
+    partition_filters,
+)
+from repro.planning.source_selection import (
+    SourceSelection,
+    refine_sources_with_bindings,
+    select_sources,
+)
+
+__all__ = [
+    "Branch",
+    "NormalizedQuery",
+    "OptionalBlock",
+    "SourceSelection",
+    "normalize",
+    "partition_filters",
+    "refine_sources_with_bindings",
+    "select_sources",
+]
+
+from repro.planning.base_engine import (
+    DEFAULT_TIMEOUT_MS,
+    EngineStats,
+    ExecutionOutcome,
+    FederatedEngine,
+)
+
+__all__ += ["DEFAULT_TIMEOUT_MS", "EngineStats", "ExecutionOutcome", "FederatedEngine"]

@@ -1,0 +1,194 @@
+"""Common machinery for federated query engines.
+
+Lusail and the three baselines share: query parsing/normalization, the
+per-query :class:`FederationClient` setup, result finalization (project /
+DISTINCT / ORDER BY / LIMIT), and uniform failure handling (virtual
+timeouts and mediator memory limits become ``ExecutionOutcome`` statuses,
+mirroring the TIMEOUT / OOM / runtime-error annotations in the paper's
+plots).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.endpoint.cache import EngineCaches
+from repro.endpoint.client import FederationClient
+from repro.endpoint.federation import Federation
+from repro.exceptions import (
+    FederationError,
+    MemoryLimitError,
+    NetworkError,
+    QueryTimeoutError,
+    UnsupportedQueryError,
+)
+from repro.net.metrics import QueryMetrics
+from repro.net.simulator import NetworkConfig, local_cluster_config
+from repro.planning.normalize import NormalizedQuery, normalize
+from repro.rdf.terms import Variable
+from repro.relational.relation import Relation
+from repro.sparql.ast import SelectQuery, VarExpr
+from repro.sparql.evaluator import SelectResult
+from repro.sparql.parser import parse_query
+
+#: The paper's per-query timeout (one hour) in virtual milliseconds.
+DEFAULT_TIMEOUT_MS = 3_600_000.0
+
+
+@dataclass
+class ExecutionOutcome:
+    """Everything a single federated query execution produced."""
+
+    result: SelectResult
+    metrics: QueryMetrics
+    status: str = "ok"  # ok | timeout | oom | error | unsupported
+    error: str | None = None
+    plan: object | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionOutcome(status={self.status!r}, rows={len(self.result)}, "
+            f"virtual_ms={self.metrics.virtual_ms:.1f}, requests={self.metrics.request_count()})"
+        )
+
+
+@dataclass
+class EngineStats:
+    """Cross-query bookkeeping (preprocessing, cache sizes)."""
+
+    preprocessing_ms: float = 0.0
+    queries_executed: int = 0
+
+
+class FederatedEngine:
+    """Base class: subclasses implement :meth:`_execute_normalized`."""
+
+    name = "abstract"
+    #: Index-based engines (SPLENDID, HiBISCuS) pay a preprocessing pass.
+    requires_preprocessing = False
+
+    def __init__(
+        self,
+        federation: Federation,
+        network_config: NetworkConfig | None = None,
+        caches: EngineCaches | None = None,
+        timeout_ms: float | None = DEFAULT_TIMEOUT_MS,
+    ):
+        self.federation = federation
+        self.network_config = network_config or local_cluster_config()
+        self.caches = caches if caches is not None else EngineCaches()
+        self.timeout_ms = timeout_ms
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------- public
+
+    def execute(self, query: SelectQuery | str, raise_on_failure: bool = False) -> ExecutionOutcome:
+        """Run one federated query; failures become outcome statuses."""
+        if isinstance(query, str):
+            parsed = parse_query(query)
+            if not isinstance(parsed, SelectQuery):
+                raise UnsupportedQueryError("federated engines execute SELECT queries")
+            query = parsed
+
+        metrics = QueryMetrics()
+        client = FederationClient(
+            federation=self.federation,
+            config=self.network_config,
+            caches=self.caches,
+            timeout_ms=self.timeout_ms,
+            metrics=metrics,
+        )
+        wall_start = time.perf_counter()
+        try:
+            normalized = normalize(query)
+            relation, end_ms = self._execute_normalized(client, normalized)
+            result = self._finalize(relation, normalized)
+            metrics.virtual_ms = end_ms
+            metrics.result_rows = len(result)
+            outcome = ExecutionOutcome(result=result, metrics=metrics)
+        except QueryTimeoutError as exc:
+            metrics.virtual_ms = exc.elapsed_ms
+            outcome = ExecutionOutcome(
+                result=SelectResult((), []), metrics=metrics, status="timeout", error=str(exc)
+            )
+        except MemoryLimitError as exc:
+            outcome = ExecutionOutcome(
+                result=SelectResult((), []), metrics=metrics, status="oom", error=str(exc)
+            )
+        except UnsupportedQueryError as exc:
+            outcome = ExecutionOutcome(
+                result=SelectResult((), []),
+                metrics=metrics,
+                status="unsupported",
+                error=str(exc),
+            )
+        except (FederationError, NetworkError) as exc:
+            outcome = ExecutionOutcome(
+                result=SelectResult((), []), metrics=metrics, status="error", error=str(exc)
+            )
+        metrics.wall_ms = (time.perf_counter() - wall_start) * 1000.0
+        self.stats.queries_executed += 1
+        if raise_on_failure and not outcome.ok:
+            raise FederationError(f"{self.name} failed ({outcome.status}): {outcome.error}")
+        return outcome
+
+    # ----------------------------------------------------------- template
+
+    def _execute_normalized(
+        self, client: FederationClient, normalized: NormalizedQuery
+    ) -> tuple[Relation, float]:
+        """Produce the (pre-modifier) relation and the virtual end time."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------- finalizing
+
+    def _finalize(self, relation: Relation, normalized: NormalizedQuery) -> SelectResult:
+        projected = normalized.projected_variables()
+        relation = relation.project(projected)
+        if normalized.distinct:
+            relation = relation.distinct()
+        rows = relation.rows
+        if normalized.order_by:
+            rows = _order_rows(rows, projected, normalized)
+        rows = rows[normalized.offset:]
+        if normalized.limit is not None:
+            rows = rows[: normalized.limit]
+        return SelectResult(projected, rows)
+
+
+def _order_rows(rows, projected: tuple[Variable, ...], normalized: NormalizedQuery):
+    """Apply ORDER BY at the mediator (variable keys only)."""
+    index_of = {variable: index for index, variable in enumerate(projected)}
+
+    def key(row):
+        keys = []
+        for condition in normalized.order_by:
+            expression = condition.expression
+            value = None
+            if isinstance(expression, VarExpr):
+                position = index_of.get(expression.variable)
+                if position is not None:
+                    value = row[position]
+            sort_key = (0,) if value is None else value.sort_key()
+            keys.append(_Descending(sort_key) if not condition.ascending else sort_key)
+        return tuple(keys)
+
+    return sorted(rows, key=key)
+
+
+class _Descending:
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return isinstance(other, _Descending) and self.key == other.key

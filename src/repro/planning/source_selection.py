@@ -1,0 +1,105 @@
+"""ASK-based source selection.
+
+Both Lusail and FedX are index-free: before planning, they send one
+SPARQL ASK per triple pattern to every federation member to learn which
+endpoints can contribute answers (paper Sec III).  Results are cached in
+the engine's hash table, so repeated queries skip the probes — the
+setting under which all the paper's measurements are reported.
+
+The probes for one pattern go to all endpoints in parallel; probes for
+different patterns are pipelined behind them on each endpoint's lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.endpoint.client import FederationClient
+from repro.rdf.terms import Variable
+from repro.rdf.triple import TriplePattern
+
+
+@dataclass
+class SourceSelection:
+    """Which endpoints are relevant to each triple pattern."""
+
+    sources: dict[TriplePattern, tuple[str, ...]] = field(default_factory=dict)
+
+    def relevant(self, pattern: TriplePattern) -> tuple[str, ...]:
+        return self.sources.get(pattern, ())
+
+    def all_sources(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for endpoints in self.sources.values():
+            for name in endpoints:
+                seen.setdefault(name, None)
+        return tuple(seen)
+
+    def restrict(self, pattern: TriplePattern, endpoints: tuple[str, ...]) -> None:
+        """Narrow a pattern's sources (HiBISCuS-style pruning)."""
+        current = set(self.sources.get(pattern, ()))
+        self.sources[pattern] = tuple(name for name in endpoints if name in current)
+
+
+def _probe_pattern(pattern: TriplePattern) -> TriplePattern:
+    """The pattern actually ASKed.
+
+    Concrete subjects/objects stay (they make probes selective); a
+    variable predicate makes the probe trivially true everywhere, which
+    is also what real systems observe.
+    """
+    return pattern
+
+
+def select_sources(
+    client: FederationClient,
+    patterns: list[TriplePattern],
+    at_ms: float,
+    endpoint_names: list[str] | None = None,
+) -> tuple[SourceSelection, float]:
+    """Run ASK source selection; returns the selection and the end time."""
+    names = endpoint_names if endpoint_names is not None else client.federation.names()
+    selection = SourceSelection()
+    finish = at_ms
+    for pattern in patterns:
+        if pattern in selection.sources:
+            continue
+        probe = _probe_pattern(pattern)
+        relevant: list[str] = []
+        for name in names:
+            answer, end = client.ask(name, probe, at_ms)
+            finish = max(finish, end)
+            if answer:
+                relevant.append(name)
+        selection.sources[pattern] = tuple(relevant)
+    return selection, finish
+
+
+def refine_sources_with_bindings(
+    client: FederationClient,
+    pattern: TriplePattern,
+    variable: Variable,
+    bound_patterns: list[TriplePattern],
+    candidates: tuple[str, ...],
+    at_ms: float,
+) -> tuple[tuple[str, ...], float]:
+    """Re-run source selection for a generic pattern with found bindings.
+
+    Paper Alg 3, line 13: for patterns like ``(?s, ?p, ?o)`` that are
+    nominally relevant everywhere, probing with actual bindings of the
+    join variable removes endpoints that cannot contribute, which "costs
+    significantly less than evaluating the delayed subquery" there.
+    """
+    finish = at_ms
+    relevant: list[str] = []
+    for name in candidates:
+        keep = False
+        for bound in bound_patterns:
+            answer, end = client.ask(name, bound, at_ms)
+            finish = max(finish, end)
+            if answer:
+                keep = True
+                break
+        if keep:
+            relevant.append(name)
+    return tuple(relevant), finish

@@ -1,0 +1,188 @@
+"""A small, strict N-Triples reader and writer.
+
+Used to round-trip generated benchmark data to disk and to load fixture
+graphs in tests.  Supports IRIs, blank nodes, plain / language-tagged /
+typed literals, comments, and blank lines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TextIO
+
+from repro.exceptions import ParseError
+from repro.rdf.terms import BNode, IRI, Literal, Term
+from repro.rdf.triple import Triple
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+class _LineScanner:
+    """Character scanner over a single N-Triples line."""
+
+    def __init__(self, text: str, line_number: int):
+        self.text = text
+        self.pos = 0
+        self.line_number = line_number
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, line=self.line_number, column=self.pos + 1)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}, found {self.peek()!r}")
+        self.pos += 1
+
+    def read_until(self, terminator: str) -> str:
+        end = self.text.find(terminator, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated token, expected {terminator!r}")
+        value = self.text[self.pos:end]
+        self.pos = end + 1
+        return value
+
+    def read_iri(self) -> IRI:
+        self.expect("<")
+        return IRI(self.read_until(">"))
+
+    def read_bnode(self) -> BNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        while self.pos < len(self.text) and (self.text[self.pos].isalnum() or self.text[self.pos] in "-_"):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("empty blank node label")
+        return BNode(self.text[start:self.pos])
+
+    def read_quoted_string(self) -> str:
+        self.expect('"')
+        chunks: list[str] = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated string literal")
+            char = self.text[self.pos]
+            self.pos += 1
+            if char == '"':
+                return "".join(chunks)
+            if char != "\\":
+                chunks.append(char)
+                continue
+            if self.at_end():
+                raise self.error("dangling escape in string literal")
+            escape = self.text[self.pos]
+            self.pos += 1
+            if escape in _ESCAPES:
+                chunks.append(_ESCAPES[escape])
+            elif escape == "u":
+                code = self.text[self.pos:self.pos + 4]
+                if len(code) != 4:
+                    raise self.error("truncated \\u escape")
+                chunks.append(chr(int(code, 16)))
+                self.pos += 4
+            elif escape == "U":
+                code = self.text[self.pos:self.pos + 8]
+                if len(code) != 8:
+                    raise self.error("truncated \\U escape")
+                chunks.append(chr(int(code, 16)))
+                self.pos += 8
+            else:
+                raise self.error(f"unknown escape \\{escape}")
+
+    def read_literal(self) -> Literal:
+        value = self.read_quoted_string()
+        if self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.text) and (self.text[self.pos].isalnum() or self.text[self.pos] == "-"):
+                self.pos += 1
+            if self.pos == start:
+                raise self.error("empty language tag")
+            return Literal(value, language=self.text[start:self.pos])
+        if self.text[self.pos:self.pos + 2] == "^^":
+            self.pos += 2
+            datatype = self.read_iri()
+            return Literal(value, datatype=datatype.value)
+        return Literal(value)
+
+    def read_term(self, allow_literal: bool) -> Term:
+        self.skip_whitespace()
+        lead = self.peek()
+        if lead == "<":
+            return self.read_iri()
+        if lead == "_":
+            return self.read_bnode()
+        if lead == '"':
+            if not allow_literal:
+                raise self.error("literal not allowed in this position")
+            return self.read_literal()
+        raise self.error(f"unexpected character {lead!r}")
+
+
+def parse_line(line: str, line_number: int = 1) -> Triple | None:
+    """Parse one N-Triples line; returns None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    scanner = _LineScanner(stripped, line_number)
+    subject = scanner.read_term(allow_literal=False)
+    predicate = scanner.read_term(allow_literal=False)
+    if not isinstance(predicate, IRI):
+        raise scanner.error("predicate must be an IRI")
+    obj = scanner.read_term(allow_literal=True)
+    scanner.skip_whitespace()
+    scanner.expect(".")
+    scanner.skip_whitespace()
+    if not scanner.at_end():
+        raise scanner.error("trailing characters after '.'")
+    return Triple(subject, predicate, obj)
+
+
+def parse(text: str) -> Iterator[Triple]:
+    """Parse a whole N-Triples document, yielding triples.
+
+    Lines are split on ``\\n`` only — Unicode line separators such as
+    U+0085 may legitimately occur inside (escaped) literals.
+    """
+    for line_number, line in enumerate(text.split("\n"), start=1):
+        triple = parse_line(line, line_number)
+        if triple is not None:
+            yield triple
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Serialize triples into an N-Triples document."""
+    return "".join(triple.n3() + "\n" for triple in triples)
+
+
+def dump(triples: Iterable[Triple], stream: TextIO) -> int:
+    """Write triples to a text stream; returns the number written."""
+    count = 0
+    for triple in triples:
+        stream.write(triple.n3())
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def load(stream: TextIO) -> Iterator[Triple]:
+    """Read triples from a text stream."""
+    for line_number, line in enumerate(stream, start=1):
+        triple = parse_line(line, line_number)
+        if triple is not None:
+            yield triple

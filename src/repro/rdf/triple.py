@@ -1,0 +1,153 @@
+"""Triples and triple patterns.
+
+A :class:`Triple` holds three concrete terms and is what the store indexes.
+A :class:`TriplePattern` may hold variables in any position and is the unit
+the SPARQL engine matches and the federation layer decomposes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.exceptions import TermError
+from repro.rdf.terms import PatternTerm, Term, Variable, is_concrete
+
+
+class Triple:
+    """A concrete RDF triple (subject, predicate, object)."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: Term, predicate: Term, object: Term):
+        if not (is_concrete(subject) and is_concrete(predicate) and is_concrete(object)):
+            raise TermError("Triple positions must be concrete terms; use TriplePattern for variables")
+        self.subject = subject
+        self.predicate = predicate
+        self.object = object
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Triple)
+            and self.subject == other.subject
+            and self.predicate == other.predicate
+            and self.object == other.object
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.subject, self.predicate, self.object))
+
+    def __iter__(self) -> Iterator[Term]:
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def __repr__(self) -> str:
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+
+class TriplePattern:
+    """A triple pattern whose positions may be variables.
+
+    Patterns are immutable and hashable so that decomposition structures
+    (GJV evidence, subqueries, visited sets) can key on them directly.
+    """
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: PatternTerm, predicate: PatternTerm, object: PatternTerm):
+        self.subject = subject
+        self.predicate = predicate
+        self.object = object
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TriplePattern)
+            and self.subject == other.subject
+            and self.predicate == other.predicate
+            and self.object == other.object
+        )
+
+    def __hash__(self) -> int:
+        return hash((TriplePattern, self.subject, self.predicate, self.object))
+
+    def __repr__(self) -> str:
+        return f"TriplePattern({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def positions(self) -> tuple[PatternTerm, PatternTerm, PatternTerm]:
+        return (self.subject, self.predicate, self.object)
+
+    def variables(self) -> set[Variable]:
+        """All variables appearing anywhere in the pattern."""
+        return {p for p in self.positions() if isinstance(p, Variable)}
+
+    def variable_positions(self, variable: Variable) -> set[str]:
+        """The positions ('subject'/'predicate'/'object') holding ``variable``."""
+        found = set()
+        if self.subject == variable:
+            found.add("subject")
+        if self.predicate == variable:
+            found.add("predicate")
+        if self.object == variable:
+            found.add("object")
+        return found
+
+    def is_concrete(self) -> bool:
+        return all(is_concrete(p) for p in self.positions())
+
+    def to_triple(self) -> Triple:
+        """Convert to a concrete triple; raises if any position is a variable."""
+        return Triple(self.subject, self.predicate, self.object)  # type: ignore[arg-type]
+
+    def bind(self, bindings: Mapping[Variable, Term]) -> "TriplePattern":
+        """A copy with every bound variable replaced by its value."""
+
+        def substitute(position: PatternTerm) -> PatternTerm:
+            if isinstance(position, Variable):
+                return bindings.get(position, position)
+            return position
+
+        return TriplePattern(
+            substitute(self.subject), substitute(self.predicate), substitute(self.object)
+        )
+
+    def matches(self, triple: Triple) -> bool:
+        """True if the pattern matches the triple under *some* binding.
+
+        Repeated variables must bind consistently, e.g. ``?x :p ?x`` only
+        matches triples whose subject equals the object.
+        """
+        bindings: dict[Variable, Term] = {}
+        for pattern_pos, data_pos in zip(self.positions(), triple):
+            if isinstance(pattern_pos, Variable):
+                seen = bindings.get(pattern_pos)
+                if seen is None:
+                    bindings[pattern_pos] = data_pos
+                elif seen != data_pos:
+                    return False
+            elif pattern_pos != data_pos:
+                return False
+        return True
+
+    def selectivity_class(self) -> int:
+        """Heuristic selectivity rank (lower = more selective).
+
+        Mirrors FedX's variable-counting heuristic: fully bound patterns are
+        most selective; patterns with three variables least.  Ties between
+        equal variable counts are broken by *which* positions are bound —
+        a bound subject is worth more than a bound object, which is worth
+        more than a bound predicate.
+        """
+        rank = 0
+        if isinstance(self.subject, Variable):
+            rank += 4
+        if isinstance(self.object, Variable):
+            rank += 2
+        if isinstance(self.predicate, Variable):
+            rank += 1
+        return rank

@@ -1,0 +1,6 @@
+"""Mediator-side relational algebra over solution sets."""
+
+from repro.relational.filters import make_filter_predicate
+from repro.relational.relation import Relation
+
+__all__ = ["Relation", "make_filter_predicate"]

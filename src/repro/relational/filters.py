@@ -1,0 +1,54 @@
+"""Evaluate FILTER expressions at the mediator.
+
+Multi-variable filters whose variables span different subqueries cannot
+be pushed to any endpoint; the paper applies them "during the join
+evaluation phase".  This module reuses the endpoint evaluator's expression
+machinery against an empty store (EXISTS-free expressions never touch
+the store).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import EvaluationError
+from repro.rdf.terms import Term, Variable, effective_boolean_value
+from repro.sparql.ast import ExistsExpr, Expression
+from repro.sparql.evaluator import _Evaluator, _ExpressionError
+from repro.store.triple_store import TripleStore
+
+_EMPTY_STORE = TripleStore(name="mediator-filter")
+_EVALUATOR = _Evaluator(_EMPTY_STORE)
+
+
+def _contains_exists(expression: Expression) -> bool:
+    if isinstance(expression, ExistsExpr):
+        return True
+    for slot in getattr(expression, "__slots__", ()):
+        value = getattr(expression, slot)
+        if isinstance(value, Expression) and _contains_exists(value):
+            return True
+        if isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, Expression) and _contains_exists(item):
+                    return True
+    return False
+
+
+def make_filter_predicate(expression: Expression):
+    """Build a solution-level predicate from a FILTER expression.
+
+    Raises :class:`EvaluationError` for EXISTS expressions — those depend
+    on graph data and must be evaluated at the endpoints.
+    """
+    if _contains_exists(expression):
+        raise EvaluationError("EXISTS filters cannot be evaluated at the mediator")
+
+    def predicate(solution: dict[Variable, Term]) -> bool:
+        try:
+            value = _EVALUATOR.eval_expression(expression, solution)
+        except _ExpressionError:
+            return False
+        if isinstance(value, bool):
+            return value
+        return effective_boolean_value(value)
+
+    return predicate

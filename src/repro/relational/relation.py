@@ -1,0 +1,226 @@
+"""Mediator-side relations over SPARQL solution sets.
+
+Each subquery result the mediator receives becomes a :class:`Relation`:
+a variable schema plus rows of terms, annotated with how many worker
+threads (partitions) hold it — the quantity the paper's join cost model
+divides by.  Joins use in-memory hash joins on the shared variables, with
+SPARQL compatibility semantics (an unbound variable is compatible with
+anything), exactly what the paper's join evaluation stage does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.rdf.terms import Term, Variable
+from repro.sparql.evaluator import SelectResult
+
+Row = tuple  # tuple[Term | None, ...]
+
+
+class Relation:
+    """An immutable-schema, mutable-rows solution relation."""
+
+    __slots__ = ("vars", "rows", "partitions")
+
+    def __init__(self, vars: Sequence[Variable], rows: Iterable[Row] = (), partitions: int = 1):
+        self.vars = tuple(vars)
+        self.rows = list(rows)
+        self.partitions = max(1, partitions)
+
+    # ------------------------------------------------------------- basics
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Relation(vars={[v.name for v in self.vars]}, rows={len(self.rows)}, partitions={self.partitions})"
+
+    @classmethod
+    def from_result(cls, result: SelectResult, partitions: int = 1) -> "Relation":
+        return cls(result.vars, result.rows, partitions=partitions)
+
+    @classmethod
+    def unit(cls) -> "Relation":
+        """The join identity: one empty row over no variables."""
+        return cls((), [()])
+
+    def to_result(self) -> SelectResult:
+        return SelectResult(self.vars, self.rows)
+
+    def bindings(self) -> Iterator[dict[Variable, Term]]:
+        for row in self.rows:
+            yield {var: value for var, value in zip(self.vars, row) if value is not None}
+
+    def shared_vars(self, other: "Relation") -> tuple[Variable, ...]:
+        other_set = set(other.vars)
+        return tuple(var for var in self.vars if var in other_set)
+
+    def column_values(self, variable: Variable) -> set[Term]:
+        """Distinct bound values of one variable."""
+        index = self.vars.index(variable)
+        return {row[index] for row in self.rows if row[index] is not None}
+
+    # -------------------------------------------------------------- joins
+
+    def join(self, other: "Relation") -> "Relation":
+        """Natural (inner) hash join on the shared variables.
+
+        With no shared variables this is a cross product — the federated
+        engines only request that for genuinely disconnected subqueries.
+        """
+        shared = self.shared_vars(other)
+        out_vars = self.vars + tuple(v for v in other.vars if v not in set(self.vars))
+        if not shared:
+            rows = [
+                _merge_rows(self.vars, left, other.vars, right, out_vars)
+                for left in self.rows
+                for right in other.rows
+            ]
+            return Relation(out_vars, rows, partitions=max(self.partitions, other.partitions))
+
+        build, probe = (self, other) if len(self) <= len(other) else (other, self)
+        table, wildcard_rows = _build_hash_table(build, shared)
+        rows: list[Row] = []
+        probe_key_indexes = [probe.vars.index(var) for var in shared]
+        for probe_row in probe.rows:
+            key = tuple(probe_row[i] for i in probe_key_indexes)
+            if None in key:
+                # Unbound join key: compatible with every build row.
+                candidates: Iterable[Row] = build.rows
+            else:
+                candidates = list(table.get(key, ())) + wildcard_rows
+            for build_row in candidates:
+                merged = _merge_compatible(build, build_row, probe, probe_row, out_vars)
+                if merged is not None:
+                    rows.append(merged)
+        return Relation(out_vars, rows, partitions=max(self.partitions, other.partitions))
+
+    def left_join(self, other: "Relation") -> "Relation":
+        """SPARQL OPTIONAL semantics: keep left rows with no match."""
+        shared = self.shared_vars(other)
+        out_vars = self.vars + tuple(v for v in other.vars if v not in set(self.vars))
+        rows: list[Row] = []
+        if not shared:
+            if not other.rows:
+                pad = (None,) * (len(out_vars) - len(self.vars))
+                rows = [row + pad for row in self.rows]
+            else:
+                rows = [
+                    _merge_rows(self.vars, left, other.vars, right, out_vars)
+                    for left in self.rows
+                    for right in other.rows
+                ]
+            return Relation(out_vars, rows, partitions=self.partitions)
+
+        table, wildcard_rows = _build_hash_table(other, shared)
+        left_key_indexes = [self.vars.index(var) for var in shared]
+        pad = (None,) * (len(out_vars) - len(self.vars))
+        for left_row in self.rows:
+            key = tuple(left_row[i] for i in left_key_indexes)
+            if None in key:
+                candidates: Iterable[Row] = other.rows
+            else:
+                candidates = list(table.get(key, ())) + wildcard_rows
+            matched = False
+            for right_row in candidates:
+                merged = _merge_compatible(self, left_row, other, right_row, out_vars)
+                if merged is not None:
+                    rows.append(merged)
+                    matched = True
+            if not matched:
+                rows.append(left_row + pad)
+        return Relation(out_vars, rows, partitions=self.partitions)
+
+    # ------------------------------------------------------------ algebra
+
+    def union(self, other: "Relation") -> "Relation":
+        """Multiset union, aligning schemas (missing vars become unbound)."""
+        out_vars = self.vars + tuple(v for v in other.vars if v not in set(self.vars))
+        rows = [_align_row(self.vars, row, out_vars) for row in self.rows]
+        rows.extend(_align_row(other.vars, row, out_vars) for row in other.rows)
+        return Relation(out_vars, rows, partitions=max(self.partitions, other.partitions))
+
+    def project(self, variables: Sequence[Variable]) -> "Relation":
+        indexes = [self.vars.index(var) if var in self.vars else None for var in variables]
+        rows = [
+            tuple(row[i] if i is not None else None for i in indexes)
+            for row in self.rows
+        ]
+        return Relation(variables, rows, partitions=self.partitions)
+
+    def distinct(self) -> "Relation":
+        seen: set[Row] = set()
+        rows: list[Row] = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Relation(self.vars, rows, partitions=self.partitions)
+
+    def filter(self, predicate: Callable[[dict[Variable, Term]], bool]) -> "Relation":
+        rows = []
+        for row in self.rows:
+            solution = {var: value for var, value in zip(self.vars, row) if value is not None}
+            if predicate(solution):
+                rows.append(row)
+        return Relation(self.vars, rows, partitions=self.partitions)
+
+    def limit(self, limit: int | None, offset: int = 0) -> "Relation":
+        rows = self.rows[offset:]
+        if limit is not None:
+            rows = rows[:limit]
+        return Relation(self.vars, rows, partitions=self.partitions)
+
+
+# --------------------------------------------------------------- internals
+
+
+def _build_hash_table(relation: Relation, shared: tuple[Variable, ...]):
+    """Hash rows by join key; rows with unbound key values go to a side list."""
+    key_indexes = [relation.vars.index(var) for var in shared]
+    table: dict[tuple, list[Row]] = {}
+    wildcard_rows: list[Row] = []
+    for row in relation.rows:
+        key = tuple(row[i] for i in key_indexes)
+        if None in key:
+            wildcard_rows.append(row)
+        else:
+            table.setdefault(key, []).append(row)
+    return table, wildcard_rows
+
+
+def _merge_compatible(
+    left: Relation, left_row: Row, right: Relation, right_row: Row, out_vars: tuple[Variable, ...]
+) -> Row | None:
+    """Merge two rows if SPARQL-compatible on every shared variable."""
+    merged: dict[Variable, Term | None] = dict(zip(left.vars, left_row))
+    for var, value in zip(right.vars, right_row):
+        existing = merged.get(var)
+        if existing is None:
+            merged[var] = value
+        elif value is not None and existing != value:
+            return None
+    return tuple(merged.get(var) for var in out_vars)
+
+
+def _merge_rows(
+    left_vars: tuple[Variable, ...],
+    left_row: Row,
+    right_vars: tuple[Variable, ...],
+    right_row: Row,
+    out_vars: tuple[Variable, ...],
+) -> Row:
+    merged: dict[Variable, Term | None] = dict(zip(left_vars, left_row))
+    for var, value in zip(right_vars, right_row):
+        if merged.get(var) is None:
+            merged[var] = value
+    return tuple(merged.get(var) for var in out_vars)
+
+
+def _align_row(vars: tuple[Variable, ...], row: Row, out_vars: tuple[Variable, ...]) -> Row:
+    mapping = dict(zip(vars, row))
+    return tuple(mapping.get(var) for var in out_vars)

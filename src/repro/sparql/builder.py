@@ -1,0 +1,170 @@
+"""A small fluent builder for programmatic SPARQL construction.
+
+Examples::
+
+    from repro.sparql.builder import select, var
+    from repro.rdf import UB
+
+    S, P, C = var("S"), var("P"), var("C")
+    query = (
+        select(S, P)
+        .where((S, UB.advisor, P), (S, UB.takesCourse, C))
+        .filter("?P != ?S")
+        .optional((P, UB.teacherOf, C))
+        .distinct()
+        .limit(10)
+        .build()
+    )
+
+Triple specs are ``(subject, predicate, object)`` tuples whose members
+are terms, variables, or strings: ``"?x"`` becomes a variable,
+``"<iri>"`` an IRI, anything else a plain literal.  Filter strings are
+parsed with the full expression grammar.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.rdf.namespaces import PrefixMap
+from repro.rdf.terms import IRI, Literal, PatternTerm, Term, Variable
+from repro.rdf.triple import TriplePattern
+from repro.sparql.ast import (
+    BGP,
+    Expression,
+    Filter,
+    GroupPattern,
+    OptionalPattern,
+    OrderCondition,
+    PatternNode,
+    SelectQuery,
+    UnionPattern,
+    VarExpr,
+)
+from repro.sparql.parser import Parser
+
+TripleSpec = tuple
+
+
+def var(name: str) -> Variable:
+    """Shorthand for :class:`Variable`."""
+    return Variable(name.lstrip("?$"))
+
+
+def _coerce(value: Union[PatternTerm, str, int, float]) -> PatternTerm:
+    if isinstance(value, (Term, Variable)):
+        return value
+    if isinstance(value, str):
+        if value.startswith(("?", "$")):
+            return Variable(value[1:])
+        if value.startswith("<") and value.endswith(">"):
+            return IRI(value[1:-1])
+        return Literal(value)
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        from repro.rdf.terms import typed_literal
+
+        return typed_literal(value)
+    raise TypeError(f"cannot use {value!r} in a triple pattern")
+
+
+def _pattern(spec: TripleSpec) -> TriplePattern:
+    subject, predicate, object_ = spec
+    return TriplePattern(_coerce(subject), _coerce(predicate), _coerce(object_))
+
+
+def _parse_expression(text: str, prefixes: PrefixMap | None) -> Expression:
+    parser = Parser(text, prefixes)
+    expression = parser._parse_expression()
+    parser._stream.expect("EOF")
+    return expression
+
+
+class SelectBuilder:
+    """Accumulates pattern elements and modifiers, then builds the AST."""
+
+    def __init__(self, select_vars: Sequence[Variable] | None):
+        self._select_vars = tuple(select_vars) if select_vars else None
+        self._elements: list[PatternNode] = []
+        self._distinct = False
+        self._limit: int | None = None
+        self._offset = 0
+        self._order: list[OrderCondition] = []
+        self._prefixes = PrefixMap()
+
+    # ------------------------------------------------------------ clauses
+
+    def where(self, *specs: TripleSpec) -> "SelectBuilder":
+        patterns = [_pattern(spec) for spec in specs]
+        # Merge consecutive WHERE calls into one BGP, matching how the
+        # parser groups adjacent triples (keeps round trips exact).
+        if self._elements and isinstance(self._elements[-1], BGP):
+            self._elements[-1] = BGP(tuple(self._elements[-1].triples) + tuple(patterns))
+        else:
+            self._elements.append(BGP(patterns))
+        return self
+
+    def filter(self, expression: Union[Expression, str]) -> "SelectBuilder":
+        if isinstance(expression, str):
+            expression = _parse_expression(expression, self._prefixes)
+        self._elements.append(Filter(expression))
+        return self
+
+    def optional(self, *specs: TripleSpec, filter: Union[Expression, str, None] = None) -> "SelectBuilder":
+        elements: list[PatternNode] = [BGP([_pattern(spec) for spec in specs])]
+        if filter is not None:
+            if isinstance(filter, str):
+                filter = _parse_expression(filter, self._prefixes)
+            elements.append(Filter(filter))
+        self._elements.append(OptionalPattern(GroupPattern(elements)))
+        return self
+
+    def union(self, *branches: Sequence[TripleSpec]) -> "SelectBuilder":
+        groups = [
+            GroupPattern([BGP([_pattern(spec) for spec in branch])]) for branch in branches
+        ]
+        self._elements.append(UnionPattern(groups))
+        return self
+
+    # ---------------------------------------------------------- modifiers
+
+    def distinct(self, enabled: bool = True) -> "SelectBuilder":
+        self._distinct = enabled
+        return self
+
+    def limit(self, count: int) -> "SelectBuilder":
+        self._limit = count
+        return self
+
+    def offset(self, count: int) -> "SelectBuilder":
+        self._offset = count
+        return self
+
+    def order_by(self, variable: Union[Variable, str], ascending: bool = True) -> "SelectBuilder":
+        if isinstance(variable, str):
+            variable = var(variable)
+        self._order.append(OrderCondition(VarExpr(variable), ascending=ascending))
+        return self
+
+    def prefix(self, name: str, base: str) -> "SelectBuilder":
+        self._prefixes.bind(name, base)
+        return self
+
+    # -------------------------------------------------------------- build
+
+    def build(self) -> SelectQuery:
+        if not self._elements:
+            raise ValueError("a query needs at least one WHERE clause")
+        return SelectQuery(
+            where=GroupPattern(self._elements),
+            select_vars=self._select_vars,
+            distinct=self._distinct,
+            limit=self._limit,
+            offset=self._offset,
+            order_by=self._order,
+        )
+
+
+def select(*variables: Union[Variable, str]) -> SelectBuilder:
+    """Start a SELECT; no arguments means ``SELECT *``."""
+    coerced = [var(v) if isinstance(v, str) else v for v in variables]
+    return SelectBuilder(coerced or None)

@@ -1,0 +1,619 @@
+"""SPARQL evaluation over a :class:`~repro.store.TripleStore`.
+
+This module is the query processor that runs *inside* each simulated
+endpoint, playing the role Jena Fuseki / Virtuoso played in the paper's
+testbed.  It implements the SPARQL subset defined in
+:mod:`repro.sparql.ast` with standard semantics:
+
+* basic graph patterns via index nested-loop joins with greedy
+  selectivity-based pattern ordering;
+* FILTER applied at the end of its enclosing group, with EXISTS /
+  NOT EXISTS evaluated by substitution;
+* OPTIONAL as a left join, UNION as multiset union, VALUES as an inline
+  relation, sub-SELECT evaluated independently and joined;
+* DISTINCT, ORDER BY, LIMIT/OFFSET, and COUNT aggregates.
+
+Solutions are plain ``dict[Variable, Term]`` mappings; unbound variables
+are simply absent.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import EvaluationError
+from repro.rdf.terms import (
+    IRI,
+    BNode,
+    Literal,
+    Term,
+    Variable,
+    XSD_BOOLEAN,
+    effective_boolean_value,
+    typed_literal,
+)
+from repro.rdf.triple import Triple, TriplePattern
+from repro.sparql.ast import (
+    Arithmetic,
+    AskQuery,
+    BGP,
+    BooleanOp,
+    Comparison,
+    ExistsExpr,
+    Expression,
+    Filter,
+    FunctionCall,
+    GroupPattern,
+    Not,
+    OptionalPattern,
+    PatternNode,
+    Query,
+    SelectQuery,
+    SubSelect,
+    TermExpr,
+    UnionPattern,
+    ValuesPattern,
+    VarExpr,
+)
+from repro.store.triple_store import TripleStore
+
+Solution = dict[Variable, Term]
+
+
+class SelectResult:
+    """Materialized SELECT result: a variable schema plus rows of terms.
+
+    Rows are tuples aligned with ``vars``; ``None`` marks an unbound
+    variable (e.g. from OPTIONAL).
+    """
+
+    __slots__ = ("vars", "rows")
+
+    def __init__(self, vars: Sequence[Variable], rows: Sequence[tuple[Term | None, ...]]):
+        self.vars = tuple(vars)
+        self.rows = list(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Term | None, ...]]:
+        return iter(self.rows)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SelectResult)
+            and self.vars == other.vars
+            and sorted(self.rows, key=_row_key) == sorted(other.rows, key=_row_key)
+        )
+
+    def __repr__(self):
+        return f"SelectResult(vars={[v.name for v in self.vars]}, rows={len(self.rows)})"
+
+    def bindings(self) -> Iterator[Solution]:
+        """Iterate rows as variable->term dicts (unbound vars omitted)."""
+        for row in self.rows:
+            yield {var: value for var, value in zip(self.vars, row) if value is not None}
+
+    def column(self, variable: Variable) -> list[Term | None]:
+        index = self.vars.index(variable)
+        return [row[index] for row in self.rows]
+
+    def as_set(self) -> set[tuple[Term | None, ...]]:
+        return set(self.rows)
+
+
+def _row_key(row: tuple[Term | None, ...]) -> tuple:
+    return tuple((0,) if value is None else value.sort_key() for value in row)
+
+
+# --------------------------------------------------------------------------
+# Expression evaluation
+
+
+class _ExpressionError(Exception):
+    """Internal: an expression evaluated to a SPARQL 'error' value."""
+
+
+def _numeric(term: Term | None) -> float | int:
+    if isinstance(term, Literal):
+        value = term.numeric_value()
+        if value is not None:
+            return value
+    raise _ExpressionError
+
+
+def _compare(op: str, left: Term | None, right: Term | None) -> bool:
+    if left is None or right is None:
+        raise _ExpressionError
+    if op == "=":
+        return _term_equal(left, right)
+    if op == "!=":
+        return not _term_equal(left, right)
+    # Ordering comparisons: numeric if both numeric, else string on literals.
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        left_num, right_num = left.numeric_value(), right.numeric_value()
+        if left_num is not None and right_num is not None:
+            pair = (left_num, right_num)
+        else:
+            pair = (left.value, right.value)
+    elif isinstance(left, IRI) and isinstance(right, IRI):
+        pair = (left.value, right.value)
+    else:
+        raise _ExpressionError
+    if op == "<":
+        return pair[0] < pair[1]
+    if op == "<=":
+        return pair[0] <= pair[1]
+    if op == ">":
+        return pair[0] > pair[1]
+    if op == ">=":
+        return pair[0] >= pair[1]
+    raise EvaluationError(f"unknown comparison {op}")
+
+
+def _term_equal(left: Term, right: Term) -> bool:
+    if left == right:
+        return True
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        left_num, right_num = left.numeric_value(), right.numeric_value()
+        if left_num is not None and right_num is not None:
+            return left_num == right_num
+    return False
+
+
+def _string_value(term: Term | None) -> str:
+    if isinstance(term, Literal):
+        return term.value
+    if isinstance(term, IRI):
+        return term.value
+    raise _ExpressionError
+
+
+class _Evaluator:
+    """Evaluates one query against one store."""
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+        # Sub-SELECTs are uncorrelated with the outer bindings except
+        # through the join on shared variables, so their results — and a
+        # hash index per join-key — are computed once per query.  This is
+        # what keeps Lusail's FILTER NOT EXISTS check queries linear
+        # instead of quadratic.
+        self._subselect_cache: dict[SelectQuery, list[Solution]] = {}
+        self._subselect_indexes: dict[tuple, dict[tuple, list[Solution]]] = {}
+
+    # ----------------------------------------------------------- patterns
+
+    def eval_group(self, group: GroupPattern, solutions: list[Solution]) -> list[Solution]:
+        """Evaluate a group graph pattern given incoming solutions."""
+        filters: list[Filter] = []
+        current = solutions
+        for element in group.elements:
+            if isinstance(element, Filter):
+                filters.append(element)
+            else:
+                current = self._eval_element(element, current)
+        for filter_node in filters:
+            current = [s for s in current if self._filter_passes(filter_node.expression, s)]
+        return current
+
+    def _eval_element(self, element: PatternNode, solutions: list[Solution]) -> list[Solution]:
+        if isinstance(element, BGP):
+            return self._eval_bgp(list(element.triples), solutions)
+        if isinstance(element, GroupPattern):
+            return self.eval_group(element, solutions)
+        if isinstance(element, OptionalPattern):
+            return self._eval_optional(element, solutions)
+        if isinstance(element, UnionPattern):
+            merged: list[Solution] = []
+            for branch in element.branches:
+                merged.extend(self.eval_group(branch, solutions))
+            return merged
+        if isinstance(element, ValuesPattern):
+            return self._join_values(element, solutions)
+        if isinstance(element, SubSelect):
+            return self._join_subselect(element, solutions)
+        raise EvaluationError(f"cannot evaluate pattern node {element!r}")
+
+    # ---------------------------------------------------------------- BGP
+
+    def _eval_bgp(self, patterns: list[TriplePattern], solutions: list[Solution]) -> list[Solution]:
+        if not patterns:
+            return solutions
+        remaining = list(patterns)
+        current = solutions
+        bound_vars: set[Variable] = set()
+        if solutions and solutions[0]:
+            # All incoming solutions share a schema superset; collect keys.
+            for solution in solutions:
+                bound_vars |= set(solution)
+        while remaining:
+            index = self._pick_next_pattern(remaining, bound_vars)
+            pattern = remaining.pop(index)
+            current = self._extend_with_pattern(pattern, current)
+            bound_vars |= pattern.variables()
+            if not current:
+                return []
+        return current
+
+    def _pick_next_pattern(self, patterns: list[TriplePattern], bound: set[Variable]) -> int:
+        """Greedy ordering: prefer patterns connected to bound variables,
+        then lower estimated cardinality, then fewer variables."""
+        best_index = 0
+        best_key: tuple | None = None
+        for index, pattern in enumerate(patterns):
+            connected = bool(pattern.variables() & bound) or not bound
+            estimate = self._estimate(pattern, bound)
+            key = (0 if connected else 1, estimate, pattern.selectivity_class())
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index
+
+    def _estimate(self, pattern: TriplePattern, bound: set[Variable]) -> int:
+        """Cardinality estimate treating bound variables as constants."""
+        s = pattern.subject if not isinstance(pattern.subject, Variable) else None
+        p = pattern.predicate if not isinstance(pattern.predicate, Variable) else None
+        o = pattern.object if not isinstance(pattern.object, Variable) else None
+        if isinstance(pattern.subject, Variable) and pattern.subject in bound:
+            # A bound join variable will be a constant at match time; assume
+            # it is as selective as a concrete subject.
+            return 1 + (self.store.predicate_count(p) if p is not None else 0) // max(
+                1, self.store.distinct_subjects(p) if p is not None else 1
+            )
+        if s is None and o is None:
+            if p is None:
+                return len(self.store)
+            return self.store.predicate_count(p)
+        return self.store.count(s, p, o)
+
+    def _extend_with_pattern(
+        self, pattern: TriplePattern, solutions: list[Solution]
+    ) -> list[Solution]:
+        pattern_vars = tuple(
+            position
+            for position in pattern.positions()
+            if isinstance(position, Variable)
+        )
+        # Memoize index lookups on the values the incoming solution binds
+        # for this pattern: many solutions share the same join key (e.g.
+        # a VALUES block binding one variable to few distinct terms).
+        match_cache: dict[tuple, list[Triple]] = {}
+        extended: list[Solution] = []
+        for solution in solutions:
+            key = tuple(solution.get(variable) for variable in pattern_vars)
+            matches = match_cache.get(key)
+            if matches is None:
+                matches = list(self.store.match_pattern(pattern.bind(solution)))
+                match_cache[key] = matches
+            for triple in matches:
+                new_solution = dict(solution)
+                consistent = True
+                for position, value in zip(pattern.positions(), triple):
+                    if isinstance(position, Variable):
+                        existing = new_solution.get(position)
+                        if existing is None:
+                            new_solution[position] = value
+                        elif existing != value:
+                            consistent = False
+                            break
+                if consistent:
+                    extended.append(new_solution)
+        return extended
+
+    # ----------------------------------------------------------- OPTIONAL
+
+    def _eval_optional(
+        self, element: OptionalPattern, solutions: list[Solution]
+    ) -> list[Solution]:
+        result: list[Solution] = []
+        for solution in solutions:
+            matches = self.eval_group(element.pattern, [dict(solution)])
+            if matches:
+                result.extend(matches)
+            else:
+                result.append(solution)
+        return result
+
+    # ------------------------------------------------------------- VALUES
+
+    def _join_values(self, element: ValuesPattern, solutions: list[Solution]) -> list[Solution]:
+        joined: list[Solution] = []
+        for solution in solutions:
+            for row in element.rows:
+                candidate = dict(solution)
+                compatible = True
+                for variable, value in zip(element.vars, row):
+                    if value is None:
+                        continue  # UNDEF matches anything
+                    existing = candidate.get(variable)
+                    if existing is None:
+                        candidate[variable] = value
+                    elif existing != value:
+                        compatible = False
+                        break
+                if compatible:
+                    joined.append(candidate)
+        return joined
+
+    # ---------------------------------------------------------- SubSelect
+
+    def _join_subselect(self, element: SubSelect, solutions: list[Solution]) -> list[Solution]:
+        inner_solutions = self._subselect_cache.get(element.query)
+        if inner_solutions is None:
+            inner = evaluate_select(self.store, element.query)
+            inner_solutions = list(inner.bindings())
+            self._subselect_cache[element.query] = inner_solutions
+        if not solutions:
+            return []
+
+        inner_vars = set(element.query.projected_variables())
+        # Join keys: projected inner variables the outer solutions bind.
+        key_vars = tuple(
+            sorted(
+                {v for solution in solutions for v in solution} & inner_vars,
+                key=lambda v: v.name,
+            )
+        )
+        if not key_vars:
+            joined = []
+            for solution in solutions:
+                for inner_solution in inner_solutions:
+                    merged = dict(solution)
+                    merged.update(inner_solution)
+                    joined.append(merged)
+            return joined
+
+        index_key = (element.query, key_vars)
+        index = self._subselect_indexes.get(index_key)
+        if index is None:
+            index = {}
+            for inner_solution in inner_solutions:
+                key = tuple(inner_solution.get(v) for v in key_vars)
+                index.setdefault(key, []).append(inner_solution)
+            self._subselect_indexes[index_key] = index
+
+        joined = []
+        for solution in solutions:
+            key = tuple(solution.get(v) for v in key_vars)
+            if None in key:
+                # Partially unbound key: fall back to a scan for this row.
+                candidates = inner_solutions
+            else:
+                candidates = index.get(key, ())
+            for inner_solution in candidates:
+                compatible = True
+                for variable, value in inner_solution.items():
+                    existing = solution.get(variable)
+                    if existing is not None and existing != value:
+                        compatible = False
+                        break
+                if compatible:
+                    merged = dict(solution)
+                    merged.update(inner_solution)
+                    joined.append(merged)
+        return joined
+
+    # ------------------------------------------------------------ filters
+
+    def _filter_passes(self, expression: Expression, solution: Solution) -> bool:
+        try:
+            value = self.eval_expression(expression, solution)
+        except _ExpressionError:
+            return False
+        if isinstance(value, bool):
+            return value
+        return effective_boolean_value(value)
+
+    def eval_expression(self, expression: Expression, solution: Solution):
+        """Evaluate an expression to a Term, bool, or raise _ExpressionError."""
+        if isinstance(expression, VarExpr):
+            value = solution.get(expression.variable)
+            if value is None:
+                raise _ExpressionError
+            return value
+        if isinstance(expression, TermExpr):
+            return expression.term
+        if isinstance(expression, Comparison):
+            left = self._eval_operand(expression.left, solution)
+            right = self._eval_operand(expression.right, solution)
+            return _compare(expression.op, left, right)
+        if isinstance(expression, Arithmetic):
+            left = _numeric(self._eval_operand(expression.left, solution))
+            right = _numeric(self._eval_operand(expression.right, solution))
+            if expression.op == "+":
+                return typed_literal(left + right)
+            if expression.op == "-":
+                return typed_literal(left - right)
+            if expression.op == "*":
+                return typed_literal(left * right)
+            if right == 0:
+                raise _ExpressionError
+            return typed_literal(left / right)
+        if isinstance(expression, BooleanOp):
+            if expression.op == "&&":
+                return all(self._filter_passes(part, solution) for part in expression.operands)
+            return any(self._filter_passes(part, solution) for part in expression.operands)
+        if isinstance(expression, Not):
+            return not self._filter_passes(expression.operand, solution)
+        if isinstance(expression, FunctionCall):
+            return self._eval_function(expression, solution)
+        if isinstance(expression, ExistsExpr):
+            matches = self.eval_group(expression.pattern, [dict(solution)])
+            exists = bool(matches)
+            return (not exists) if expression.negated else exists
+        raise EvaluationError(f"cannot evaluate expression {expression!r}")
+
+    def _eval_operand(self, expression: Expression, solution: Solution):
+        value = self.eval_expression(expression, solution)
+        if isinstance(value, bool):
+            return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
+        return value
+
+    def _eval_function(self, call: FunctionCall, solution: Solution):
+        name = call.name
+
+        def arg(index: int):
+            return self._eval_operand(call.args[index], solution)
+
+        if name == "BOUND":
+            inner = call.args[0]
+            if not isinstance(inner, VarExpr):
+                raise EvaluationError("BOUND expects a variable")
+            return inner.variable in solution
+        if name == "REGEX":
+            text = _string_value(arg(0))
+            pattern = _string_value(arg(1))
+            flags = 0
+            if len(call.args) > 2 and "i" in _string_value(arg(2)):
+                flags |= re.IGNORECASE
+            return re.search(pattern, text, flags) is not None
+        if name == "STR":
+            return Literal(_string_value(arg(0)))
+        if name == "LANG":
+            value = arg(0)
+            if isinstance(value, Literal):
+                return Literal(value.language or "")
+            raise _ExpressionError
+        if name == "LANGMATCHES":
+            lang = _string_value(arg(0)).lower()
+            range_ = _string_value(arg(1)).lower()
+            if range_ == "*":
+                return bool(lang)
+            return lang == range_ or lang.startswith(range_ + "-")
+        if name == "DATATYPE":
+            value = arg(0)
+            if isinstance(value, Literal):
+                return IRI(value.datatype or "http://www.w3.org/2001/XMLSchema#string")
+            raise _ExpressionError
+        if name == "CONTAINS":
+            return _string_value(arg(1)) in _string_value(arg(0))
+        if name == "STRSTARTS":
+            return _string_value(arg(0)).startswith(_string_value(arg(1)))
+        if name == "STRENDS":
+            return _string_value(arg(0)).endswith(_string_value(arg(1)))
+        if name == "STRLEN":
+            return typed_literal(len(_string_value(arg(0))))
+        if name == "UCASE":
+            return Literal(_string_value(arg(0)).upper())
+        if name == "LCASE":
+            return Literal(_string_value(arg(0)).lower())
+        if name in ("ISIRI", "ISURI"):
+            return isinstance(arg(0), IRI)
+        if name == "ISLITERAL":
+            return isinstance(arg(0), Literal)
+        if name == "ISBLANK":
+            return isinstance(arg(0), BNode)
+        if name == "ISNUMERIC":
+            value = arg(0)
+            return isinstance(value, Literal) and value.numeric_value() is not None
+        if name == "SAMETERM":
+            return arg(0) == arg(1)
+        if name == "ABS":
+            return typed_literal(abs(_numeric(arg(0))))
+        raise EvaluationError(f"unsupported function {name}")
+
+
+# --------------------------------------------------------------------------
+# Public entry points
+
+
+def evaluate_select(store: TripleStore, query: SelectQuery) -> SelectResult:
+    """Evaluate a SELECT query and materialize the result."""
+    evaluator = _Evaluator(store)
+    solutions = evaluator.eval_group(query.where, [{}])
+
+    if query.aggregate is not None:
+        aggregate = query.aggregate
+        if aggregate.variable is None:
+            count = len(solutions)
+        else:
+            values = [s[aggregate.variable] for s in solutions if aggregate.variable in s]
+            count = len(set(values)) if aggregate.distinct else len(values)
+        return SelectResult([aggregate.alias], [(typed_literal(count),)])
+
+    projected = query.projected_variables()
+    rows = [tuple(solution.get(variable) for variable in projected) for solution in solutions]
+
+    if query.distinct:
+        seen: set[tuple[Term | None, ...]] = set()
+        unique_rows: list[tuple[Term | None, ...]] = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique_rows.append(row)
+        rows = unique_rows
+
+    if query.order_by:
+        def order_key(row: tuple[Term | None, ...]):
+            solution = {var: value for var, value in zip(projected, row) if value is not None}
+            keys = []
+            for condition in query.order_by:
+                try:
+                    value = evaluator.eval_expression(condition.expression, solution)
+                except _ExpressionError:
+                    value = None
+                if isinstance(value, bool):
+                    value = typed_literal(value)
+                key = (0,) if value is None else value.sort_key()
+                keys.append(_DescendingKey(key) if not condition.ascending else key)
+            return tuple(keys)
+
+        rows.sort(key=order_key)
+
+    if query.offset:
+        rows = rows[query.offset:]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return SelectResult(projected, rows)
+
+
+class _DescendingKey:
+    """Wrapper inverting comparison order for DESC sort keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return isinstance(other, _DescendingKey) and self.key == other.key
+
+
+def evaluate_ask(store: TripleStore, query: AskQuery) -> bool:
+    """Evaluate an ASK query."""
+    evaluator = _Evaluator(store)
+    # Short-circuit: a single-pattern ASK is the common source-selection
+    # probe; answer it straight from the indexes.
+    if len(query.where.elements) == 1 and isinstance(query.where.elements[0], BGP):
+        triples = query.where.elements[0].triples
+        if len(triples) == 1:
+            pattern = triples[0]
+            return self_ask(store, pattern)
+    return bool(evaluator.eval_group(query.where, [{}]))
+
+
+def self_ask(store: TripleStore, pattern: TriplePattern) -> bool:
+    """ASK over a single triple pattern using the store indexes directly."""
+    return store.ask(pattern.subject, pattern.predicate, pattern.object)
+
+
+def evaluate(store: TripleStore, query: Query):
+    """Evaluate any supported query; returns SelectResult or bool."""
+    if isinstance(query, SelectQuery):
+        return evaluate_select(store, query)
+    if isinstance(query, AskQuery):
+        return evaluate_ask(store, query)
+    raise EvaluationError(f"unsupported query type {type(query).__name__}")
+
+
+def solutions_to_result(
+    solutions: Iterable[Mapping[Variable, Term]], vars: Sequence[Variable]
+) -> SelectResult:
+    """Project an iterable of solution dicts onto a schema."""
+    rows = [tuple(solution.get(variable) for variable in vars) for solution in solutions]
+    return SelectResult(vars, rows)

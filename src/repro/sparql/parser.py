@@ -1,0 +1,513 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Produces the AST defined in :mod:`repro.sparql.ast`.  The grammar follows
+SPARQL 1.1 closely for the covered constructs; see the module docstring of
+the AST for the supported feature list.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParseError
+from repro.rdf.namespaces import PrefixMap, RDF_TYPE
+from repro.rdf.terms import (
+    IRI,
+    Literal,
+    PatternTerm,
+    Term,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from repro.rdf.triple import TriplePattern
+from repro.sparql.ast import (
+    Arithmetic,
+    AskQuery,
+    BGP,
+    BooleanOp,
+    Comparison,
+    CountAggregate,
+    ExistsExpr,
+    Expression,
+    Filter,
+    FunctionCall,
+    GroupPattern,
+    Not,
+    OptionalPattern,
+    OrderCondition,
+    PatternNode,
+    Query,
+    SelectQuery,
+    SubSelect,
+    TermExpr,
+    UnionPattern,
+    ValuesPattern,
+    VarExpr,
+)
+from repro.sparql.tokens import Token, tokenize, unescape_string
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(f"{message} (found {token.value!r})", token.line, token.column)
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            expected = value if value is not None else kind
+            raise self.error(f"expected {expected}")
+        return token
+
+    def accept_keyword(self, *names: str) -> Token | None:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value in names:
+            return self.next()
+        return None
+
+    def expect_keyword(self, name: str) -> Token:
+        token = self.accept_keyword(name)
+        if token is None:
+            raise self.error(f"expected {name}")
+        return token
+
+
+class Parser:
+    """Parses one query string into an AST.
+
+    A shared :class:`PrefixMap` provides default prefixes; PREFIX clauses
+    in the query extend a local copy.
+    """
+
+    def __init__(self, text: str, prefixes: PrefixMap | None = None):
+        self._stream = _TokenStream(list(tokenize(text)))
+        self._prefixes = (prefixes or PrefixMap()).copy()
+
+    # ------------------------------------------------------------ entry
+
+    def parse_query(self) -> Query:
+        self._parse_prologue()
+        token = self._stream.peek()
+        if token.kind == "KEYWORD" and token.value == "SELECT":
+            query = self._parse_select()
+        elif token.kind == "KEYWORD" and token.value == "ASK":
+            query = self._parse_ask()
+        else:
+            raise self._stream.error("expected SELECT or ASK")
+        self._stream.expect("EOF")
+        return query
+
+    # --------------------------------------------------------- prologue
+
+    def _parse_prologue(self) -> None:
+        while True:
+            if self._stream.accept_keyword("PREFIX"):
+                pname = self._stream.expect("PNAME")
+                iri = self._stream.expect("IRIREF")
+                prefix = pname.value[:-1] if pname.value.endswith(":") else pname.value.split(":")[0]
+                self._prefixes.bind(prefix, iri.value[1:-1])
+            elif self._stream.accept_keyword("BASE"):
+                self._stream.expect("IRIREF")
+            else:
+                return
+
+    # ------------------------------------------------------------ SELECT
+
+    def _parse_select(self) -> SelectQuery:
+        self._stream.expect_keyword("SELECT")
+        distinct = bool(self._stream.accept_keyword("DISTINCT") or self._stream.accept_keyword("REDUCED"))
+        select_vars: list[Variable] | None = None
+        aggregate: CountAggregate | None = None
+
+        if self._stream.accept("OP", "*"):
+            select_vars = None
+        else:
+            select_vars = []
+            while True:
+                token = self._stream.peek()
+                if token.kind == "VAR":
+                    self._stream.next()
+                    select_vars.append(Variable(token.value[1:]))
+                elif token.kind == "OP" and token.value == "(":
+                    aggregate = self._parse_count_aggregate()
+                else:
+                    break
+            if not select_vars and aggregate is None:
+                raise self._stream.error("SELECT needs a projection")
+            if aggregate is not None and select_vars:
+                raise ParseError("mixed COUNT aggregate and plain projection is not supported")
+            if not select_vars:
+                select_vars = None
+
+        self._stream.accept_keyword("WHERE")
+        where = self._parse_group_graph_pattern()
+        order_by, limit, offset = self._parse_solution_modifiers()
+        return SelectQuery(
+            where=where,
+            select_vars=select_vars,
+            distinct=distinct,
+            aggregate=aggregate,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_count_aggregate(self) -> CountAggregate:
+        self._stream.expect("OP", "(")
+        self._stream.expect_keyword("COUNT")
+        self._stream.expect("OP", "(")
+        distinct = bool(self._stream.accept_keyword("DISTINCT"))
+        variable: Variable | None = None
+        if self._stream.accept("OP", "*") is None:
+            var_token = self._stream.expect("VAR")
+            variable = Variable(var_token.value[1:])
+        self._stream.expect("OP", ")")
+        self._stream.expect_keyword("AS")
+        alias_token = self._stream.expect("VAR")
+        self._stream.expect("OP", ")")
+        return CountAggregate(Variable(alias_token.value[1:]), variable=variable, distinct=distinct)
+
+    def _parse_solution_modifiers(self):
+        order_by: list[OrderCondition] = []
+        limit: int | None = None
+        offset = 0
+        while True:
+            if self._stream.accept_keyword("ORDER"):
+                self._stream.expect_keyword("BY")
+                order_by = self._parse_order_conditions()
+            elif self._stream.accept_keyword("LIMIT"):
+                limit = int(self._stream.expect("NUMBER").value)
+            elif self._stream.accept_keyword("OFFSET"):
+                offset = int(self._stream.expect("NUMBER").value)
+            else:
+                return order_by, limit, offset
+
+    def _parse_order_conditions(self) -> list[OrderCondition]:
+        conditions: list[OrderCondition] = []
+        while True:
+            if self._stream.accept_keyword("ASC"):
+                self._stream.expect("OP", "(")
+                conditions.append(OrderCondition(self._parse_expression(), ascending=True))
+                self._stream.expect("OP", ")")
+            elif self._stream.accept_keyword("DESC"):
+                self._stream.expect("OP", "(")
+                conditions.append(OrderCondition(self._parse_expression(), ascending=False))
+                self._stream.expect("OP", ")")
+            elif self._stream.peek().kind == "VAR":
+                token = self._stream.next()
+                conditions.append(OrderCondition(VarExpr(Variable(token.value[1:]))))
+            else:
+                if not conditions:
+                    raise self._stream.error("ORDER BY needs at least one condition")
+                return conditions
+
+    # --------------------------------------------------------------- ASK
+
+    def _parse_ask(self) -> AskQuery:
+        self._stream.expect_keyword("ASK")
+        self._stream.accept_keyword("WHERE")
+        return AskQuery(self._parse_group_graph_pattern())
+
+    # ---------------------------------------------------- graph patterns
+
+    def _parse_group_graph_pattern(self) -> GroupPattern:
+        self._stream.expect("OP", "{")
+        # A sub-select starts immediately with SELECT.
+        if self._stream.peek().kind == "KEYWORD" and self._stream.peek().value == "SELECT":
+            sub = self._parse_select()
+            self._stream.expect("OP", "}")
+            return GroupPattern([SubSelect(sub)])
+
+        elements: list[PatternNode] = []
+        current_bgp: list[TriplePattern] = []
+
+        def flush_bgp() -> None:
+            if current_bgp:
+                elements.append(BGP(list(current_bgp)))
+                current_bgp.clear()
+
+        while True:
+            token = self._stream.peek()
+            if token.kind == "OP" and token.value == "}":
+                self._stream.next()
+                flush_bgp()
+                return GroupPattern(elements)
+            if token.kind == "EOF":
+                raise self._stream.error("unterminated group graph pattern")
+            if token.kind == "KEYWORD" and token.value == "FILTER":
+                self._stream.next()
+                flush_bgp()
+                elements.append(Filter(self._parse_constraint()))
+                self._stream.accept("OP", ".")
+            elif token.kind == "KEYWORD" and token.value == "OPTIONAL":
+                self._stream.next()
+                flush_bgp()
+                elements.append(OptionalPattern(self._parse_group_graph_pattern()))
+                self._stream.accept("OP", ".")
+            elif token.kind == "KEYWORD" and token.value == "VALUES":
+                self._stream.next()
+                flush_bgp()
+                elements.append(self._parse_values())
+                self._stream.accept("OP", ".")
+            elif token.kind == "OP" and token.value == "{":
+                flush_bgp()
+                elements.append(self._parse_group_or_union())
+                self._stream.accept("OP", ".")
+            else:
+                current_bgp.extend(self._parse_triples_same_subject())
+                if self._stream.accept("OP", ".") is None:
+                    # Only '}' may follow a triples block without a dot.
+                    closing = self._stream.peek()
+                    if not (closing.kind == "OP" and closing.value == "}"):
+                        if closing.kind not in ("KEYWORD", "OP"):
+                            raise self._stream.error("expected '.' between triples")
+
+    def _parse_group_or_union(self) -> PatternNode:
+        first = self._parse_group_graph_pattern()
+        branches = [first]
+        while self._stream.accept_keyword("UNION"):
+            branches.append(self._parse_group_graph_pattern())
+        if len(branches) == 1:
+            # Flatten `{ SELECT ... }` to the SubSelect node itself.
+            if len(first.elements) == 1 and isinstance(first.elements[0], SubSelect):
+                return first.elements[0]
+            return first
+        return UnionPattern(branches)
+
+    def _parse_values(self) -> ValuesPattern:
+        vars: list[Variable] = []
+        single_var = False
+        if self._stream.peek().kind == "VAR":
+            token = self._stream.next()
+            vars.append(Variable(token.value[1:]))
+            single_var = True
+        else:
+            self._stream.expect("OP", "(")
+            while self._stream.peek().kind == "VAR":
+                token = self._stream.next()
+                vars.append(Variable(token.value[1:]))
+            self._stream.expect("OP", ")")
+        self._stream.expect("OP", "{")
+        rows: list[list[Term | None]] = []
+        while self._stream.accept("OP", "}") is None:
+            if single_var:
+                rows.append([self._parse_values_value()])
+            else:
+                self._stream.expect("OP", "(")
+                row: list[Term | None] = []
+                while self._stream.accept("OP", ")") is None:
+                    row.append(self._parse_values_value())
+                rows.append(row)
+        return ValuesPattern(vars, rows)
+
+    def _parse_values_value(self) -> Term | None:
+        if self._stream.accept_keyword("UNDEF"):
+            return None
+        term = self._parse_term(allow_variable=False)
+        if not isinstance(term, Term):
+            raise self._stream.error("VALUES entries must be concrete terms")
+        return term
+
+    def _parse_triples_same_subject(self) -> list[TriplePattern]:
+        """Parse ``subject predicateObjectList`` with ';' and ',' support."""
+        subject = self._parse_term(allow_variable=True)
+        if isinstance(subject, Literal):
+            raise self._stream.error("subject cannot be a literal")
+        patterns: list[TriplePattern] = []
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_term(allow_variable=True)
+                patterns.append(TriplePattern(subject, predicate, obj))
+                if self._stream.accept("OP", ",") is None:
+                    break
+            if self._stream.accept("OP", ";") is None:
+                return patterns
+            # A trailing ';' before '.' or '}' is legal.
+            nxt = self._stream.peek()
+            if nxt.kind == "OP" and nxt.value in (".", "}"):
+                return patterns
+
+    def _parse_verb(self) -> PatternTerm:
+        if self._stream.accept_keyword("A"):
+            return RDF_TYPE
+        term = self._parse_term(allow_variable=True)
+        if isinstance(term, Literal):
+            raise self._stream.error("predicate cannot be a literal")
+        return term
+
+    # --------------------------------------------------------------- terms
+
+    def _parse_term(self, allow_variable: bool) -> PatternTerm:
+        token = self._stream.peek()
+        if token.kind == "VAR":
+            if not allow_variable:
+                raise self._stream.error("variable not allowed here")
+            self._stream.next()
+            return Variable(token.value[1:])
+        if token.kind == "IRIREF":
+            self._stream.next()
+            return IRI(token.value[1:-1])
+        if token.kind == "PNAME":
+            self._stream.next()
+            return self._prefixes.expand(token.value)
+        if token.kind == "STRING":
+            self._stream.next()
+            value = unescape_string(token.value)
+            lang_token = self._stream.accept("LANGTAG")
+            if lang_token is not None:
+                return Literal(value, language=lang_token.value[1:])
+            if self._stream.accept("DOUBLE_CARET") is not None:
+                dt_token = self._stream.peek()
+                if dt_token.kind == "IRIREF":
+                    self._stream.next()
+                    return Literal(value, datatype=dt_token.value[1:-1])
+                if dt_token.kind == "PNAME":
+                    self._stream.next()
+                    return Literal(value, datatype=self._prefixes.expand(dt_token.value).value)
+                raise self._stream.error("expected datatype IRI after ^^")
+            return Literal(value)
+        if token.kind == "NUMBER":
+            self._stream.next()
+            if any(ch in token.value for ch in ".eE"):
+                return Literal(token.value, datatype=XSD_DOUBLE)
+            return Literal(token.value, datatype=XSD_INTEGER)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self._stream.next()
+            return Literal(token.value.lower(), datatype=XSD_BOOLEAN)
+        raise self._stream.error("expected an RDF term")
+
+    # --------------------------------------------------------- expressions
+
+    def _parse_constraint(self) -> Expression:
+        if self._stream.accept_keyword("NOT"):
+            self._stream.expect_keyword("EXISTS")
+            return ExistsExpr(self._parse_group_graph_pattern(), negated=True)
+        if self._stream.accept_keyword("EXISTS"):
+            return ExistsExpr(self._parse_group_graph_pattern(), negated=False)
+        if self._stream.peek().kind == "NAME":
+            return self._parse_function_call()
+        self._stream.expect("OP", "(")
+        expression = self._parse_expression()
+        self._stream.expect("OP", ")")
+        return expression
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        operands = [left]
+        while self._stream.accept("OP", "||"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return left
+        return BooleanOp("||", operands)
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_comparison()
+        operands = [left]
+        while self._stream.accept("OP", "&&"):
+            operands.append(self._parse_comparison())
+        if len(operands) == 1:
+            return left
+        return BooleanOp("&&", operands)
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        token = self._stream.peek()
+        if token.kind == "OP" and token.value in Comparison.OPS:
+            self._stream.next()
+            right = self._parse_additive()
+            return Comparison(token.value, left, right)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._stream.peek()
+            if token.kind == "OP" and token.value in ("+", "-"):
+                self._stream.next()
+                left = Arithmetic(token.value, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._stream.peek()
+            if token.kind == "OP" and token.value in ("*", "/"):
+                self._stream.next()
+                left = Arithmetic(token.value, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        if self._stream.accept("OP", "!"):
+            return Not(self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._stream.peek()
+        if token.kind == "OP" and token.value == "(":
+            self._stream.next()
+            expression = self._parse_expression()
+            self._stream.expect("OP", ")")
+            return expression
+        if token.kind == "KEYWORD" and token.value == "NOT":
+            self._stream.next()
+            self._stream.expect_keyword("EXISTS")
+            return ExistsExpr(self._parse_group_graph_pattern(), negated=True)
+        if token.kind == "KEYWORD" and token.value == "EXISTS":
+            self._stream.next()
+            return ExistsExpr(self._parse_group_graph_pattern(), negated=False)
+        if token.kind == "NAME":
+            return self._parse_function_call()
+        if token.kind == "VAR":
+            self._stream.next()
+            return VarExpr(Variable(token.value[1:]))
+        term = self._parse_term(allow_variable=False)
+        return TermExpr(term)  # type: ignore[arg-type]
+
+    def _parse_function_call(self) -> Expression:
+        name_token = self._stream.expect("NAME")
+        try:
+            self._stream.expect("OP", "(")
+        except ParseError:
+            raise self._stream.error(f"expected '(' after function {name_token.value}")
+        args: list[Expression] = []
+        if self._stream.accept("OP", ")") is None:
+            while True:
+                args.append(self._parse_expression())
+                if self._stream.accept("OP", ",") is None:
+                    break
+            self._stream.expect("OP", ")")
+        try:
+            return FunctionCall(name_token.value, args)
+        except ValueError as exc:
+            raise ParseError(str(exc), name_token.line, name_token.column) from exc
+
+
+def parse_query(text: str, prefixes: PrefixMap | None = None) -> Query:
+    """Parse a SPARQL query string into an AST."""
+    return Parser(text, prefixes).parse_query()

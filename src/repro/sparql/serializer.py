@@ -1,0 +1,134 @@
+"""Render query ASTs back to SPARQL text.
+
+Used for request byte accounting in the network simulator, for logging,
+and (in tests) to verify parse/serialize round trips.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import PatternTerm, Variable
+from repro.rdf.triple import TriplePattern
+from repro.sparql.ast import (
+    Arithmetic,
+    AskQuery,
+    BGP,
+    BooleanOp,
+    Comparison,
+    ExistsExpr,
+    Expression,
+    Filter,
+    FunctionCall,
+    GroupPattern,
+    Not,
+    OptionalPattern,
+    PatternNode,
+    Query,
+    SelectQuery,
+    SubSelect,
+    TermExpr,
+    UnionPattern,
+    ValuesPattern,
+    VarExpr,
+)
+
+
+def _term(term: PatternTerm) -> str:
+    if isinstance(term, Variable):
+        return term.n3()
+    return term.n3()
+
+
+def _triple(pattern: TriplePattern) -> str:
+    return f"{_term(pattern.subject)} {_term(pattern.predicate)} {_term(pattern.object)} ."
+
+
+def serialize_expression(expression: Expression) -> str:
+    if isinstance(expression, VarExpr):
+        return expression.variable.n3()
+    if isinstance(expression, TermExpr):
+        return expression.term.n3()
+    if isinstance(expression, Comparison):
+        return f"({serialize_expression(expression.left)} {expression.op} {serialize_expression(expression.right)})"
+    if isinstance(expression, Arithmetic):
+        return f"({serialize_expression(expression.left)} {expression.op} {serialize_expression(expression.right)})"
+    if isinstance(expression, BooleanOp):
+        joined = f" {expression.op} ".join(serialize_expression(part) for part in expression.operands)
+        return f"({joined})"
+    if isinstance(expression, Not):
+        return f"(!{serialize_expression(expression.operand)})"
+    if isinstance(expression, FunctionCall):
+        args = ", ".join(serialize_expression(arg) for arg in expression.args)
+        return f"{expression.name}({args})"
+    if isinstance(expression, ExistsExpr):
+        keyword = "NOT EXISTS" if expression.negated else "EXISTS"
+        return f"{keyword} {serialize_group(expression.pattern)}"
+    raise TypeError(f"cannot serialize expression {expression!r}")
+
+
+def _pattern_node(node: PatternNode) -> str:
+    if isinstance(node, BGP):
+        return " ".join(_triple(triple) for triple in node.triples)
+    if isinstance(node, Filter):
+        return f"FILTER {serialize_expression(node.expression)}"
+    if isinstance(node, OptionalPattern):
+        return f"OPTIONAL {serialize_group(node.pattern)}"
+    if isinstance(node, UnionPattern):
+        return " UNION ".join(serialize_group(branch) for branch in node.branches)
+    if isinstance(node, ValuesPattern):
+        vars_clause = " ".join(v.n3() for v in node.vars)
+        rows = " ".join(
+            "(" + " ".join("UNDEF" if value is None else value.n3() for value in row) + ")"
+            for row in node.rows
+        )
+        return f"VALUES ({vars_clause}) {{ {rows} }}"
+    if isinstance(node, SubSelect):
+        # Braced so the node is unambiguous among sibling elements; the
+        # parser flattens `{ SELECT ... }` back to a SubSelect node.
+        return "{ " + serialize_query(node.query) + " }"
+    if isinstance(node, GroupPattern):
+        return serialize_group(node)
+    raise TypeError(f"cannot serialize pattern node {node!r}")
+
+
+def serialize_group(group: GroupPattern) -> str:
+    inner = " ".join(_pattern_node(element) for element in group.elements)
+    return "{ " + inner + " }"
+
+
+def serialize_query(query: Query) -> str:
+    """Render a query AST as a SPARQL string (single line)."""
+    if isinstance(query, AskQuery):
+        return f"ASK {serialize_group(query.where)}"
+    if not isinstance(query, SelectQuery):
+        raise TypeError(f"cannot serialize query {query!r}")
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    if query.aggregate is not None:
+        agg = query.aggregate
+        if agg.variable is None:
+            inner = "*"
+        elif agg.distinct:
+            inner = f"DISTINCT {agg.variable.n3()}"
+        else:
+            inner = agg.variable.n3()
+        parts.append(f"(COUNT({inner}) AS {agg.alias.n3()})")
+    elif query.select_vars is None:
+        parts.append("*")
+    else:
+        parts.extend(v.n3() for v in query.select_vars)
+    parts.append("WHERE")
+    parts.append(serialize_group(query.where))
+    for condition in query.order_by:
+        keyword = "ASC" if condition.ascending else "DESC"
+        parts.append(f"ORDER BY {keyword}({serialize_expression(condition.expression)})")
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    if query.offset:
+        parts.append(f"OFFSET {query.offset}")
+    return " ".join(parts)
+
+
+def query_bytes(query: Query) -> int:
+    """Size of the serialized query in bytes (for network accounting)."""
+    return len(serialize_query(query).encode("utf-8"))

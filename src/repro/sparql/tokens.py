@@ -1,0 +1,129 @@
+"""Regex-based tokenizer for the SPARQL subset."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.exceptions import ParseError
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+#: Keywords recognized case-insensitively.  Longer phrases are matched by
+#: the parser from consecutive keyword tokens (e.g. NOT EXISTS, ORDER BY).
+KEYWORDS = frozenset(
+    {
+        "PREFIX",
+        "BASE",
+        "SELECT",
+        "ASK",
+        "WHERE",
+        "DISTINCT",
+        "REDUCED",
+        "FILTER",
+        "OPTIONAL",
+        "UNION",
+        "VALUES",
+        "LIMIT",
+        "OFFSET",
+        "ORDER",
+        "BY",
+        "ASC",
+        "DESC",
+        "NOT",
+        "EXISTS",
+        "COUNT",
+        "AS",
+        "UNDEF",
+        "A",
+        "TRUE",
+        "FALSE",
+        "IN",
+    }
+)
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"#[^\n]*"),
+    ("WS", r"[ \t\r\n]+"),
+    ("IRIREF", r"<[^<>\"{}|^`\\\x00-\x20]*>"),
+    ("VAR", r"[?$][A-Za-z_][A-Za-z_0-9]*"),
+    ("STRING", r'"""(?:[^"\\]|\\.|"(?!""))*"""|"(?:[^"\\\n]|\\.)*"'),
+    ("LANGTAG", r"@[A-Za-z]+(?:-[A-Za-z0-9]+)*"),
+    ("DOUBLE_CARET", r"\^\^"),
+    ("NUMBER", r"[+-]?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)"),
+    ("PNAME", r"[A-Za-z_][A-Za-z_0-9.\-]*:[A-Za-z_0-9](?:[A-Za-z_0-9.\-]*[A-Za-z_0-9])?|[A-Za-z_][A-Za-z_0-9.\-]*:"),
+    ("NAME", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("OP", r"&&|\|\||!=|<=|>=|[{}().,;*=<>!+\-/\[\]]"),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens; raises :class:`ParseError` on unknown input."""
+    line = 1
+    line_start = 0
+    pos = 0
+    length = len(text)
+    while pos < length:
+        match = _MASTER_RE.match(text, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[pos]!r}",
+                line=line,
+                column=pos - line_start + 1,
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        column = pos - line_start + 1
+        pos = match.end()
+        if kind in ("WS", "COMMENT"):
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos - (len(value) - value.rfind("\n") - 1)
+            continue
+        if kind == "NAME" and value.upper() in KEYWORDS:
+            yield Token("KEYWORD", value.upper(), line, column)
+        else:
+            yield Token(kind, value, line, column)
+    yield Token("EOF", "", line, pos - line_start + 1)
+
+
+def unescape_string(raw: str) -> str:
+    """Decode a STRING token (including surrounding quotes) to its value."""
+    if raw.startswith('"""'):
+        body = raw[3:-3]
+    else:
+        body = raw[1:-1]
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        char = body[i]
+        if char != "\\":
+            out.append(char)
+            i += 1
+            continue
+        escape = body[i + 1]
+        if escape == "n":
+            out.append("\n")
+        elif escape == "t":
+            out.append("\t")
+        elif escape == "r":
+            out.append("\r")
+        elif escape in ('"', "\\", "'"):
+            out.append(escape)
+        elif escape == "u":
+            out.append(chr(int(body[i + 2:i + 6], 16)))
+            i += 6
+            continue
+        else:
+            raise ParseError(f"unknown string escape \\{escape}")
+        i += 2
+    return "".join(out)

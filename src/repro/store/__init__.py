@@ -1,0 +1,5 @@
+"""In-memory indexed triple store."""
+
+from repro.store.triple_store import TripleStore
+
+__all__ = ["TripleStore"]

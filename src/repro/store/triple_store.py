@@ -1,0 +1,257 @@
+"""An indexed in-memory triple store.
+
+This is the storage substrate behind every simulated SPARQL endpoint.  It
+maintains three permutation indexes (SPO, POS, OSP) as nested dictionaries,
+which lets any triple pattern with at least one bound position be answered
+by dictionary lookups rather than scans, mirroring how RDF-3X-style engines
+serve basic graph patterns.
+
+Per-predicate statistics (triple counts, distinct subjects/objects) are
+maintained incrementally.  The paper notes that "cardinality statistics per
+predicate are usually collected by RDF engines for their runtime query
+optimization" — SAPE's COUNT probe queries and SPLENDID's VoID index both
+read these numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.rdf.terms import IRI, PatternTerm, Term, Variable
+from repro.rdf.triple import Triple, TriplePattern
+
+_Index = dict  # nested: level1 -> level2 -> set(level3)
+
+
+def _index_add(index: _Index, a: Term, b: Term, c: Term) -> None:
+    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+
+def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
+    second = index.get(a)
+    if second is None:
+        return
+    third = second.get(b)
+    if third is None:
+        return
+    third.discard(c)
+    if not third:
+        del second[b]
+        if not second:
+            del index[a]
+
+
+class TripleStore:
+    """A set of triples with SPO / POS / OSP permutation indexes.
+
+    The store deduplicates triples (RDF graphs are sets).  All match
+    methods treat a :class:`Variable` or ``None`` in a position as a
+    wildcard.
+    """
+
+    def __init__(self, name: str = "store"):
+        self.name = name
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+        self._predicate_counts: Counter[Term] = Counter()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        objects = self._spo.get(triple.subject, {}).get(triple.predicate)
+        return objects is not None and triple.object in objects
+
+    def __iter__(self) -> Iterator[Triple]:
+        for subject, by_predicate in self._spo.items():
+            for predicate, objects in by_predicate.items():
+                for obj in objects:
+                    yield Triple(subject, predicate, obj)
+
+    def __repr__(self) -> str:
+        return f"TripleStore({self.name!r}, triples={self._size})"
+
+    # ------------------------------------------------------------------ add
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; returns True if it was not already present."""
+        if triple in self:
+            return False
+        s, p, o = triple.subject, triple.predicate, triple.object
+        _index_add(self._spo, s, p, o)
+        _index_add(self._pos, p, o, s)
+        _index_add(self._osp, o, s, p)
+        self._size += 1
+        self._predicate_counts[p] += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns how many were new."""
+        added = 0
+        for triple in triples:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def remove(self, triple: Triple) -> bool:
+        """Delete a triple; returns True if it was present."""
+        if triple not in self:
+            return False
+        s, p, o = triple.subject, triple.predicate, triple.object
+        _index_remove(self._spo, s, p, o)
+        _index_remove(self._pos, p, o, s)
+        _index_remove(self._osp, o, s, p)
+        self._size -= 1
+        self._predicate_counts[p] -= 1
+        if self._predicate_counts[p] == 0:
+            del self._predicate_counts[p]
+        return True
+
+    # ---------------------------------------------------------------- match
+
+    def match(
+        self,
+        subject: PatternTerm | None = None,
+        predicate: PatternTerm | None = None,
+        object: PatternTerm | None = None,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the given positions.
+
+        ``None`` or a :class:`Variable` acts as a wildcard.  Repeated
+        variables (e.g. same variable as subject and object) are enforced.
+        """
+        s = subject if not isinstance(subject, Variable) else None
+        p = predicate if not isinstance(predicate, Variable) else None
+        o = object if not isinstance(object, Variable) else None
+
+        iterator = self._match_bound(s, p, o)
+        # Enforce consistency for repeated variables.
+        pattern_vars = [x for x in (subject, predicate, object) if isinstance(x, Variable)]
+        if len(pattern_vars) != len(set(pattern_vars)):
+            pattern = TriplePattern(
+                subject if subject is not None else Variable("__s"),
+                predicate if predicate is not None else Variable("__p"),
+                object if object is not None else Variable("__o"),
+            )
+            return (t for t in iterator if pattern.matches(t))
+        return iterator
+
+    def _match_bound(self, s: Term | None, p: Term | None, o: Term | None) -> Iterator[Triple]:
+        if s is not None and p is not None and o is not None:
+            triple = Triple(s, p, o)
+            return iter((triple,)) if triple in self else iter(())
+        if s is not None and p is not None:
+            objects = self._spo.get(s, {}).get(p, ())
+            return (Triple(s, p, obj) for obj in objects)
+        if p is not None and o is not None:
+            subjects = self._pos.get(p, {}).get(o, ())
+            return (Triple(subj, p, o) for subj in subjects)
+        if s is not None and o is not None:
+            predicates = self._osp.get(o, {}).get(s, ())
+            return (Triple(s, pred, o) for pred in predicates)
+        if s is not None:
+            return (
+                Triple(s, pred, obj)
+                for pred, objects in self._spo.get(s, {}).items()
+                for obj in objects
+            )
+        if p is not None:
+            return (
+                Triple(subj, p, obj)
+                for obj, subjects in self._pos.get(p, {}).items()
+                for subj in subjects
+            )
+        if o is not None:
+            return (
+                Triple(subj, pred, o)
+                for subj, predicates in self._osp.get(o, {}).items()
+                for pred in predicates
+            )
+        return iter(self)
+
+    def match_pattern(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """Iterate triples matching a :class:`TriplePattern`."""
+        return self.match(pattern.subject, pattern.predicate, pattern.object)
+
+    def count(
+        self,
+        subject: PatternTerm | None = None,
+        predicate: PatternTerm | None = None,
+        object: PatternTerm | None = None,
+    ) -> int:
+        """Number of matching triples.
+
+        Predicate-only counts come straight from the maintained statistics
+        (O(1)); other shapes use the indexes without materializing triples.
+        """
+        s = subject if not isinstance(subject, Variable) else None
+        p = predicate if not isinstance(predicate, Variable) else None
+        o = object if not isinstance(object, Variable) else None
+        if s is None and o is None:
+            if p is None:
+                return self._size
+            return self._predicate_counts.get(p, 0)
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None and s is None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        return sum(1 for __ in self.match(subject, predicate, object))
+
+    def ask(
+        self,
+        subject: PatternTerm | None = None,
+        predicate: PatternTerm | None = None,
+        object: PatternTerm | None = None,
+    ) -> bool:
+        """True if at least one triple matches (SPARQL ASK on one pattern)."""
+        return next(iter(self.match(subject, predicate, object)), None) is not None
+
+    # ----------------------------------------------------------- statistics
+
+    def predicates(self) -> set[Term]:
+        """All distinct predicates present in the store."""
+        return set(self._predicate_counts)
+
+    def predicate_count(self, predicate: Term) -> int:
+        return self._predicate_counts.get(predicate, 0)
+
+    def distinct_subjects(self, predicate: Term | None = None) -> int:
+        if predicate is None:
+            return len(self._spo)
+        return sum(1 for by_pred in self._spo.values() if predicate in by_pred)
+
+    def distinct_objects(self, predicate: Term | None = None) -> int:
+        if predicate is None:
+            return len(self._osp)
+        return len(self._pos.get(predicate, {}))
+
+    def subject_authorities(self, predicate: Term) -> set[str]:
+        """Distinct IRI authorities of subjects of ``predicate``.
+
+        This is the summary HiBISCuS-style source selection builds per
+        endpoint.
+        """
+        authorities = set()
+        for obj_map in (self._pos.get(predicate) or {}).values():
+            for subj in obj_map:
+                if isinstance(subj, IRI):
+                    authorities.add(subj.authority)
+        return authorities
+
+    def object_authorities(self, predicate: Term) -> set[str]:
+        """Distinct IRI authorities of IRI-valued objects of ``predicate``."""
+        authorities = set()
+        for obj in self._pos.get(predicate) or {}:
+            if isinstance(obj, IRI):
+                authorities.add(obj.authority)
+        return authorities
+
+    def clear(self) -> None:
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._predicate_counts.clear()
+        self._size = 0

@@ -1,0 +1,102 @@
+"""Tests for the ANAPSID-style adaptive baseline."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import AnapsidEngine
+from repro.datasets import lubm
+from repro.datasets.random_federation import (
+    FederationShape,
+    build_random_federation,
+    build_random_query,
+)
+from repro.net import metrics as metrics_module
+from repro.sparql import evaluate_select, parse_query
+
+from tests.conftest import QA, assert_same_bag, build_paper_federation, oracle_rows
+
+UB_PREFIX = "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+
+
+class TestCorrectness:
+    def test_qa_matches_oracle(self, paper_federation):
+        outcome = AnapsidEngine(paper_federation).execute(QA)
+        assert outcome.ok
+        assert_same_bag(outcome.result.rows, oracle_rows(paper_federation, QA))
+
+    def test_optional_query(self, paper_federation):
+        text = UB_PREFIX + (
+            "SELECT ?p ?u ?a WHERE { ?s ub:advisor ?p . ?p ub:PhDDegreeFrom ?u "
+            "OPTIONAL { ?u ub:address ?a } }"
+        )
+        outcome = AnapsidEngine(paper_federation).execute(text)
+        assert_same_bag(outcome.result.rows, oracle_rows(paper_federation, text))
+
+    def test_union_query(self, paper_federation):
+        text = UB_PREFIX + (
+            "SELECT ?x WHERE { { ?x ub:teacherOf ?c } UNION { ?x ub:PhDDegreeFrom ?u } }"
+        )
+        outcome = AnapsidEngine(paper_federation).execute(text)
+        assert_same_bag(outcome.result.rows, oracle_rows(paper_federation, text))
+
+    def test_lubm_queries(self):
+        federation = lubm.build_federation(2, seed=31)
+        union = federation.union_store()
+        engine = AnapsidEngine(federation)
+        for name, text in lubm.queries().items():
+            outcome = engine.execute(text)
+            assert outcome.ok, name
+            oracle = evaluate_select(union, parse_query(text))
+            assert Counter(outcome.result.rows) == Counter(oracle.rows), name
+
+
+class TestAdaptiveTraits:
+    def test_no_bound_joins_ever(self, paper_federation):
+        outcome = AnapsidEngine(paper_federation).execute(QA)
+        assert outcome.metrics.request_count(metrics_module.BOUND) == 0
+
+    def test_no_ask_probes(self, paper_federation):
+        """Catalog-based source selection: no ASK traffic at all."""
+        outcome = AnapsidEngine(paper_federation).execute(QA)
+        assert outcome.metrics.request_count(metrics_module.ASK) == 0
+
+    def test_preprocessing_recorded(self, paper_federation):
+        engine = AnapsidEngine(paper_federation)
+        assert engine.requires_preprocessing
+        assert engine.stats.preprocessing_ms > 0
+
+    def test_ships_more_rows_than_lusail_on_selective_query(self):
+        """The defining trade-off: parallel dispatch fetches full extents."""
+        from repro.core.engine import LusailEngine
+
+        federation = lubm.build_federation(3, seed=31)
+        text = lubm.query_q4()
+        anapsid = AnapsidEngine(federation).execute(text)
+        lusail_engine = LusailEngine(federation)
+        lusail_engine.execute(text)
+        lusail = lusail_engine.execute(text)
+        assert anapsid.ok and lusail.ok
+        assert anapsid.metrics.rows_shipped() > lusail.metrics.rows_shipped()
+
+
+@st.composite
+def _case(draw):
+    fed_seed = draw(st.integers(min_value=0, max_value=5000))
+    query_seed = draw(st.integers(min_value=0, max_value=5000))
+    endpoints = draw(st.integers(min_value=2, max_value=3))
+    federation = build_random_federation(
+        fed_seed, FederationShape(endpoints=endpoints, entities_per_endpoint=8)
+    )
+    return federation, build_random_query(query_seed, endpoints)
+
+
+@given(_case())
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_property_anapsid_matches_oracle(case):
+    federation, query = case
+    outcome = AnapsidEngine(federation).execute(query)
+    assert outcome.ok, outcome.error
+    union = federation.union_store()
+    assert Counter(outcome.result.rows) == Counter(evaluate_select(union, query).rows)

@@ -1,0 +1,106 @@
+"""Tests for the fluent query builder."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, UB, Variable, XSD_INTEGER
+from repro.sparql import evaluate_select, parse_query, serialize_query
+from repro.sparql.builder import select, var
+
+from tests.conftest import build_paper_federation
+
+
+class TestBuilding:
+    def test_simple_select(self):
+        S, P = var("S"), var("P")
+        query = select(S, P).where((S, UB.advisor, P)).build()
+        assert query.select_vars == (S, P)
+        assert len(query.where.triple_patterns()) == 1
+
+    def test_string_coercions(self):
+        query = select("?s").where(("?s", "<http://e.org/p>", "hello")).build()
+        pattern = query.where.triple_patterns()[0]
+        assert pattern.subject == Variable("s")
+        assert pattern.predicate == IRI("http://e.org/p")
+        assert pattern.object == Literal("hello")
+
+    def test_numeric_coercion(self):
+        query = select("?s").where(("?s", "<http://e.org/age>", 30)).build()
+        assert query.where.triple_patterns()[0].object == Literal("30", datatype=XSD_INTEGER)
+
+    def test_select_star(self):
+        query = select().where(("?s", "?p", "?o")).build()
+        assert query.select_vars is None
+
+    def test_filter_string_parsed(self):
+        query = select("?s").where(("?s", UB.age, "?a")).filter("?a > 25").build()
+        rendered = serialize_query(query)
+        assert "FILTER" in rendered and "25" in rendered
+
+    def test_optional_and_union(self):
+        query = (
+            select("?s")
+            .where(("?s", UB.advisor, "?p"))
+            .optional(("?p", UB.teacherOf, "?c"))
+            .union([("?s", UB.name, "?n")], [("?s", UB.emailAddress, "?n")])
+            .build()
+        )
+        rendered = serialize_query(query)
+        assert "OPTIONAL" in rendered and "UNION" in rendered
+        assert parse_query(rendered) == query
+
+    def test_modifiers(self):
+        query = (
+            select("?s")
+            .where(("?s", UB.advisor, "?p"))
+            .distinct()
+            .order_by("?s", ascending=False)
+            .limit(5)
+            .offset(2)
+            .build()
+        )
+        assert query.distinct and query.limit == 5 and query.offset == 2
+        assert query.order_by[0].ascending is False
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            select("?s").build()
+
+    def test_round_trip_through_serializer(self):
+        query = (
+            select("?S", "?A")
+            .where(("?S", UB.advisor, "?P"), ("?P", UB.PhDDegreeFrom, "?U"))
+            .where(("?U", UB.address, "?A"))
+            .filter('?A != "nowhere"')
+            .build()
+        )
+        assert parse_query(serialize_query(query)) == query
+
+
+class TestBuilderExecution:
+    def test_built_query_runs_on_endpoint(self):
+        federation = build_paper_federation()
+        query = (
+            select("?S", "?A")
+            .where(("?S", UB.advisor, "?P"), ("?P", UB.PhDDegreeFrom, "?U"))
+            .where(("?U", UB.address, "?A"))
+            .build()
+        )
+        union = federation.union_store()
+        result = evaluate_select(union, query)
+        assert len(result) == 4  # Lee/Ben, Sam/Ann, Kim/Joy, Kim/Tim
+
+    def test_built_query_runs_federated(self):
+        from repro.core.engine import LusailEngine
+
+        federation = build_paper_federation()
+        query = (
+            select("?S")
+            .where(("?S", UB.advisor, "?P"), ("?S", UB.takesCourse, "?C"))
+            .build()
+        )
+        outcome = LusailEngine(federation).execute(query)
+        assert outcome.ok
+        from collections import Counter
+
+        oracle = evaluate_select(federation.union_store(), query)
+        assert Counter(outcome.result.rows) == Counter(oracle.rows)

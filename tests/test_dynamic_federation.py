@@ -1,0 +1,162 @@
+"""Dynamic federations and failure injection.
+
+The paper argues for index-free engines because "endpoints can join and
+leave the federation at no cost".  These tests exercise exactly that:
+adding endpoints after caches are warm, removing them, and endpoints
+becoming unavailable mid-workload.
+"""
+
+from repro.baselines import FedXEngine, SplendidEngine
+from repro.core.engine import LusailEngine
+from repro.endpoint import Endpoint, Federation
+from repro.rdf import Literal, Namespace, Triple, UB
+
+from tests.conftest import QA, assert_same_bag, build_paper_federation, oracle_rows
+
+ETH = Namespace("http://eth.example.org/")
+
+
+def third_university() -> Endpoint:
+    ep3 = Endpoint("EP3")
+    ep3.add_all(
+        [
+            Triple(ETH.Ida, UB.advisor, ETH.Max),
+            Triple(ETH.Ida, UB.takesCourse, ETH.c9),
+            Triple(ETH.Max, UB.teacherOf, ETH.c9),
+            Triple(ETH.Max, UB.PhDDegreeFrom, ETH.ETH),
+            Triple(ETH.ETH, UB.address, Literal("ZZZ")),
+        ]
+    )
+    return ep3
+
+
+class TestJoiningEndpoints:
+    def test_new_endpoint_included_without_preprocessing(self):
+        federation = build_paper_federation()
+        engine = LusailEngine(federation)
+        before = engine.execute(QA)
+        assert len(before.result) == 3
+
+        federation.add(third_university())
+        after = engine.execute(QA)
+        # The cached probes only cover EP1/EP2; EP3 is probed on demand.
+        assert len(after.result) == 4
+        assert_same_bag(after.result.rows, oracle_rows(federation, QA))
+
+    def test_fedx_also_handles_joins(self):
+        federation = build_paper_federation()
+        engine = FedXEngine(federation)
+        engine.execute(QA)
+        federation.add(third_university())
+        after = engine.execute(QA)
+        assert_same_bag(after.result.rows, oracle_rows(federation, QA))
+
+    def test_splendid_index_goes_stale(self):
+        """Index-based engines miss data added after preprocessing —
+        the drawback the paper highlights."""
+        federation = build_paper_federation()
+        engine = SplendidEngine(federation)
+        engine.execute(QA)
+        federation.add(third_university())
+        stale = engine.execute(QA)
+        # The VoID index predates EP3: its predicates are unknown, so the
+        # new university's answer is missed (3 rows instead of 4) until
+        # the index is rebuilt.
+        assert len(stale.result) == 3
+        rebuilt = SplendidEngine(federation)
+        fresh = rebuilt.execute(QA)
+        assert len(fresh.result) == 4
+
+
+class TestLeavingEndpoints:
+    def test_removed_endpoint_not_queried(self):
+        federation = build_paper_federation()
+        engine = LusailEngine(federation)
+        engine.execute(QA)
+        federation.remove("EP2")
+        # Fresh engine: the cached sources of the old engine mention EP2.
+        fresh = LusailEngine(federation)
+        outcome = fresh.execute(QA)
+        assert outcome.ok
+        endpoints_hit = {record.endpoint for record in outcome.metrics.records}
+        assert "EP2" not in endpoints_hit
+        assert len(outcome.result) == 1  # only Lee/Ben/MIT remains
+
+
+class TestUnavailableEndpoints:
+    def test_unavailable_endpoint_is_a_runtime_error(self):
+        federation = build_paper_federation()
+        engine = LusailEngine(federation)
+        federation.get("EP2").available = False
+        outcome = engine.execute(QA)
+        assert outcome.status == "error"
+        assert "EP2" in (outcome.error or "")
+
+    def test_recovery_after_restoration(self):
+        federation = build_paper_federation()
+        engine = LusailEngine(federation)
+        federation.get("EP2").available = False
+        assert engine.execute(QA).status == "error"
+        federation.get("EP2").available = True
+        outcome = engine.execute(QA)
+        assert outcome.ok and len(outcome.result) == 3
+
+    def test_failure_during_warm_cache_run(self):
+        federation = build_paper_federation()
+        engine = LusailEngine(federation)
+        engine.execute(QA)  # warm
+        federation.get("EP1").available = False
+        outcome = engine.execute(QA)
+        assert outcome.status == "error"
+
+
+class TestResultCaps:
+    """Real public endpoints truncate large results (e.g. Virtuoso's
+    10K-row cap).  Selective strategies survive; extent-fetchers lose
+    rows — one reason the paper's Sec VI-D favors Lusail on live
+    endpoints."""
+
+    def _capped_lubm(self, cap):
+        from repro.datasets import lubm
+
+        federation = lubm.build_federation(3, seed=17)
+        for endpoint in federation:
+            endpoint.result_limit = cap
+        return federation
+
+    def test_lusail_correct_under_generous_cap(self):
+        from collections import Counter
+
+        from repro.datasets import lubm
+        from repro.sparql import evaluate_select, parse_query
+
+        federation = self._capped_lubm(cap=5000)
+        uncapped = lubm.build_federation(3, seed=17)
+        oracle = evaluate_select(
+            uncapped.union_store(), parse_query(lubm.query_q4())
+        )
+        outcome = LusailEngine(federation).execute(lubm.query_q4())
+        assert outcome.ok
+        assert Counter(outcome.result.rows) == Counter(oracle.rows)
+
+    def test_tight_cap_starves_extent_fetchers_more(self):
+        """Under a tight cap, ANAPSID's full-extent fetches are truncated
+        harder than Lusail's bound subqueries: Lusail retains at least as
+        many correct rows."""
+        from repro.baselines import AnapsidEngine
+        from repro.datasets import lubm
+
+        federation = self._capped_lubm(cap=60)
+        lusail = LusailEngine(federation).execute(lubm.query_q4())
+        anapsid = AnapsidEngine(federation).execute(lubm.query_q4())
+        assert lusail.ok and anapsid.ok
+        assert len(lusail.result) >= len(anapsid.result)
+
+    def test_cap_visible_in_shipped_rows(self):
+        from repro.datasets import lubm
+
+        capped = self._capped_lubm(cap=3)
+        free = lubm.build_federation(3, seed=17)
+        capped_out = LusailEngine(capped).execute(lubm.query_q2())
+        free_out = LusailEngine(free).execute(lubm.query_q2())
+        assert capped_out.metrics.rows_shipped() < free_out.metrics.rows_shipped()

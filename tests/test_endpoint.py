@@ -1,0 +1,171 @@
+"""Unit tests for endpoints, federations, caches, and the client."""
+
+import pytest
+
+from repro.endpoint import Endpoint, EngineCaches, Federation, FederationClient, MISSING, ProbeCache
+from repro.exceptions import QueryTimeoutError, UnknownEndpointError
+from repro.net import QueryMetrics
+from repro.net.simulator import local_cluster_config
+from repro.rdf import IRI, Literal, RDF_TYPE, Triple, TriplePattern, Variable
+from repro.sparql import parse_query
+from repro.sparql.ast import bgp_query
+from repro.core.execution.cost_model import count_query
+
+EX = "http://ex.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def endpoint():
+    ep = Endpoint("ep1")
+    ep.add_all(
+        [
+            Triple(iri("a"), RDF_TYPE, iri("T")),
+            Triple(iri("a"), iri("p"), Literal("x")),
+            Triple(iri("b"), iri("p"), Literal("y")),
+        ]
+    )
+    return ep
+
+
+@pytest.fixture
+def federation(endpoint):
+    ep2 = Endpoint("ep2", triples=[Triple(iri("c"), iri("q"), iri("a"))])
+    return Federation([endpoint, ep2])
+
+
+class TestEndpoint:
+    def test_select(self, endpoint):
+        result = endpoint.select(parse_query("SELECT ?s WHERE { ?s <http://ex.org/p> ?o }"))
+        assert len(result) == 2
+
+    def test_ask_pattern(self, endpoint):
+        assert endpoint.ask_pattern(TriplePattern(Variable("s"), iri("p"), Variable("o")))
+        assert not endpoint.ask_pattern(TriplePattern(Variable("s"), iri("zz"), Variable("o")))
+
+    def test_count_pattern(self, endpoint):
+        assert endpoint.count_pattern(TriplePattern(Variable("s"), iri("p"), Variable("o"))) == 2
+
+    def test_len(self, endpoint):
+        assert len(endpoint) == 3
+
+
+class TestFederation:
+    def test_duplicate_name_rejected(self, endpoint):
+        federation = Federation([endpoint])
+        with pytest.raises(ValueError):
+            federation.add(Endpoint("ep1"))
+
+    def test_get_unknown_raises(self, federation):
+        with pytest.raises(UnknownEndpointError):
+            federation.get("nope")
+
+    def test_names_order_preserved(self, federation):
+        assert federation.names() == ["ep1", "ep2"]
+
+    def test_union_store(self, federation):
+        union = federation.union_store()
+        assert len(union) == 4
+
+    def test_subset(self, federation):
+        subset = federation.subset(["ep2"])
+        assert subset.names() == ["ep2"]
+        assert subset.get("ep2") is federation.get("ep2")
+
+    def test_total_triples(self, federation):
+        assert federation.total_triples() == 4
+
+    def test_remove(self, federation):
+        federation.remove("ep2")
+        assert "ep2" not in federation
+
+
+class TestProbeCache:
+    def test_miss_then_hit(self):
+        cache = ProbeCache()
+        assert cache.get("k") is MISSING
+        cache.put("k", False)
+        assert cache.get("k") is False  # falsy values are cached
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_disabled_cache_never_hits(self):
+        cache = ProbeCache(enabled=False)
+        cache.put("k", True)
+        assert cache.get("k") is MISSING
+
+    def test_engine_caches_disabled(self):
+        caches = EngineCaches.disabled()
+        assert not caches.ask.enabled and not caches.check.enabled and not caches.count.enabled
+
+
+class TestFederationClient:
+    def make_client(self, federation, timeout=None):
+        return FederationClient(
+            federation, local_cluster_config(), EngineCaches(), timeout_ms=timeout
+        )
+
+    def test_ask_and_cache(self, federation):
+        client = self.make_client(federation)
+        pattern = TriplePattern(Variable("s"), iri("p"), Variable("o"))
+        answer1, end1 = client.ask("ep1", pattern, 0.0)
+        answer2, end2 = client.ask("ep1", pattern, end1)
+        assert answer1 is True and answer2 is True
+        assert end2 == end1  # cache hit costs nothing
+        assert client.metrics.request_count() == 1
+
+    def test_ask_negative_cached(self, federation):
+        client = self.make_client(federation)
+        pattern = TriplePattern(Variable("s"), iri("zz"), Variable("o"))
+        answer, end = client.ask("ep1", pattern, 0.0)
+        answer2, __ = client.ask("ep1", pattern, end)
+        assert answer is False and answer2 is False
+        assert client.metrics.request_count() == 1
+
+    def test_select_ships_rows(self, federation):
+        client = self.make_client(federation)
+        query = bgp_query([TriplePattern(Variable("s"), iri("p"), Variable("o"))])
+        result, end = client.select("ep1", query, 0.0)
+        assert len(result) == 2
+        assert client.metrics.rows_shipped() == 2
+        assert end > 0
+
+    def test_count(self, federation):
+        client = self.make_client(federation)
+        query = count_query(TriplePattern(Variable("s"), iri("p"), Variable("o")))
+        count, __ = client.count("ep1", query, 0.0)
+        assert count == 2
+        count2, __ = client.count("ep1", query, 0.0)
+        assert count2 == 2
+        assert client.metrics.request_count() == 1  # second was cached
+
+    def test_check_reports_emptiness(self, federation):
+        client = self.make_client(federation)
+        query = parse_query(
+            "SELECT ?s WHERE { ?s <http://ex.org/p> ?o } LIMIT 1"
+        )
+        non_empty, __ = client.check("ep1", query, 0.0)
+        assert non_empty is True
+
+    def test_timeout_raises(self, federation):
+        client = self.make_client(federation, timeout=0.5)
+        query = bgp_query([TriplePattern(Variable("s"), iri("p"), Variable("o"))])
+        with pytest.raises(QueryTimeoutError):
+            client.select("ep1", query, 0.0)
+        assert client.metrics.status == "timeout"
+
+    def test_unknown_endpoint(self, federation):
+        client = self.make_client(federation)
+        with pytest.raises(UnknownEndpointError):
+            client.ask("nope", TriplePattern(Variable("s"), iri("p"), Variable("o")), 0.0)
+
+    def test_caches_shared_across_clients(self, federation):
+        caches = EngineCaches()
+        pattern = TriplePattern(Variable("s"), iri("p"), Variable("o"))
+        client1 = FederationClient(federation, local_cluster_config(), caches)
+        client1.ask("ep1", pattern, 0.0)
+        client2 = FederationClient(federation, local_cluster_config(), caches)
+        client2.ask("ep1", pattern, 0.0)
+        assert client2.metrics.request_count() == 0  # warmed by client1

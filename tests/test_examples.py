@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run and print sensible output."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_reports_the_paper_rows(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Kim" in out and "Lee" in out
+        assert "Global join variables" in out
+        assert "Warm-cache run" in out
+
+    def test_federation_shape(self):
+        module = load_example("quickstart")
+        federation = module.build_federation()
+        assert federation.names() == ["EP1", "EP2"]
+        assert federation.total_triples() == 14
+
+
+class TestLifeSciences:
+    def test_runs(self, capsys):
+        module = load_example("life_sciences")
+        module.main()
+        out = capsys.readouterr().out
+        assert "medicines target asthma" in out
+        assert "LADE decomposition" in out
+        assert "C2P2" in out
+
+
+@pytest.mark.parametrize("name", ["lubm_universities", "geo_distributed"])
+def test_other_examples_importable(name):
+    """The heavier examples at least load and expose main()."""
+    module = load_example(name)
+    assert callable(module.main)

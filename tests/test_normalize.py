@@ -1,0 +1,108 @@
+"""Unit tests for query normalization (union-of-conjunctive-branches)."""
+
+import pytest
+
+from repro.exceptions import UnsupportedQueryError
+from repro.planning import normalize, partition_filters
+from repro.rdf import Variable
+from repro.sparql import parse_query
+
+EX = "PREFIX ex: <http://ex.org/>\n"
+
+
+def norm(text):
+    return normalize(parse_query(EX + text))
+
+
+class TestBasicNormalization:
+    def test_single_branch(self):
+        normalized = norm("SELECT ?a WHERE { ?a ex:p ?b . ?b ex:q ?c }")
+        assert len(normalized.branches) == 1
+        assert len(normalized.branches[0].patterns) == 2
+
+    def test_filters_collected(self):
+        normalized = norm("SELECT ?a WHERE { ?a ex:p ?b FILTER (?b > 3) }")
+        assert len(normalized.branches[0].filters) == 1
+
+    def test_optional_block(self):
+        normalized = norm("SELECT ?a WHERE { ?a ex:p ?b OPTIONAL { ?b ex:q ?c FILTER (?c > 0) } }")
+        branch = normalized.branches[0]
+        assert len(branch.optionals) == 1
+        assert len(branch.optionals[0].patterns) == 1
+        assert len(branch.optionals[0].filters) == 1
+
+    def test_union_makes_branches(self):
+        normalized = norm(
+            "SELECT ?a WHERE { ?a ex:t ?x { ?a ex:p ?b } UNION { ?a ex:q ?b } }"
+        )
+        assert len(normalized.branches) == 2
+        for branch in normalized.branches:
+            assert len(branch.patterns) == 2  # shared + arm
+
+    def test_two_unions_cross_product(self):
+        normalized = norm(
+            "SELECT ?a WHERE { { ?a ex:p ?b } UNION { ?a ex:q ?b } "
+            "{ ?b ex:r ?c } UNION { ?b ex:s ?c } }"
+        )
+        assert len(normalized.branches) == 4
+
+    def test_union_with_optional_arm(self):
+        normalized = norm(
+            "SELECT ?a WHERE { { ?a ex:p ?b OPTIONAL { ?b ex:o ?x } } UNION { ?a ex:q ?b } }"
+        )
+        assert len(normalized.branches) == 2
+        assert len(normalized.branches[0].optionals) == 1
+        assert len(normalized.branches[1].optionals) == 0
+
+    def test_modifiers_carried(self):
+        normalized = norm("SELECT DISTINCT ?a WHERE { ?a ex:p ?b } LIMIT 7 OFFSET 1")
+        assert normalized.distinct and normalized.limit == 7 and normalized.offset == 1
+
+    def test_nested_group_flattened(self):
+        normalized = norm("SELECT ?a WHERE { { ?a ex:p ?b . ?b ex:q ?c } }")
+        assert len(normalized.branches[0].patterns) == 2
+
+    def test_projected_variables_star(self):
+        normalized = norm("SELECT * WHERE { ?b ex:p ?a }")
+        assert normalized.projected_variables() == (Variable("a"), Variable("b"))
+
+
+class TestUnsupported:
+    def test_nested_optional_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            norm("SELECT ?a WHERE { ?a ex:p ?b OPTIONAL { ?b ex:q ?c OPTIONAL { ?c ex:r ?d } } }")
+
+    def test_union_inside_optional_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            norm("SELECT ?a WHERE { ?a ex:p ?b OPTIONAL { { ?b ex:q ?c } UNION { ?b ex:r ?c } } }")
+
+    def test_values_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            norm("SELECT ?a WHERE { VALUES (?a) { (ex:x) } ?a ex:p ?b }")
+
+    def test_filter_only_branch_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            norm("SELECT ?a WHERE { FILTER (?a > 1) }")
+
+
+class TestPartitionFilters:
+    def test_pushable_filter(self):
+        normalized = norm("SELECT ?a WHERE { ?a ex:p ?b FILTER (?b > 3) }")
+        branch = normalized.branches[0]
+        groups = [{Variable("a"), Variable("b")}]
+        pushed, residue = partition_filters(branch.filters, groups)
+        assert len(pushed[0]) == 1 and not residue
+
+    def test_cross_group_filter_stays(self):
+        normalized = norm("SELECT ?a WHERE { ?a ex:p ?b . ?c ex:q ?d FILTER (?b = ?d) }")
+        branch = normalized.branches[0]
+        groups = [{Variable("a"), Variable("b")}, {Variable("c"), Variable("d")}]
+        pushed, residue = partition_filters(branch.filters, groups)
+        assert not pushed[0] and not pushed[1] and len(residue) == 1
+
+    def test_filter_goes_to_first_covering_group(self):
+        normalized = norm("SELECT ?a WHERE { ?a ex:p ?b FILTER (?b != 0) }")
+        branch = normalized.branches[0]
+        groups = [{Variable("x")}, {Variable("a"), Variable("b")}]
+        pushed, residue = partition_filters(branch.filters, groups)
+        assert not pushed[0] and len(pushed[1]) == 1 and not residue

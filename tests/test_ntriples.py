@@ -1,0 +1,107 @@
+"""Unit and property tests for the N-Triples reader/writer."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ParseError
+from repro.rdf import BNode, IRI, Literal, Triple, XSD_INTEGER
+from repro.rdf.ntriples import dump, load, parse, parse_line, serialize
+
+S = IRI("http://ex.org/s")
+P = IRI("http://ex.org/p")
+
+
+class TestParseLine:
+    def test_simple_triple(self):
+        triple = parse_line("<http://ex.org/s> <http://ex.org/p> <http://ex.org/o> .")
+        assert triple == Triple(S, P, IRI("http://ex.org/o"))
+
+    def test_plain_literal(self):
+        triple = parse_line('<http://ex.org/s> <http://ex.org/p> "hello" .')
+        assert triple.object == Literal("hello")
+
+    def test_language_literal(self):
+        triple = parse_line('<http://ex.org/s> <http://ex.org/p> "chat"@fr .')
+        assert triple.object == Literal("chat", language="fr")
+
+    def test_typed_literal(self):
+        line = f'<http://ex.org/s> <http://ex.org/p> "5"^^<{XSD_INTEGER}> .'
+        assert parse_line(line).object == Literal("5", datatype=XSD_INTEGER)
+
+    def test_escapes(self):
+        triple = parse_line('<http://ex.org/s> <http://ex.org/p> "a\\"b\\nc\\t" .')
+        assert triple.object == Literal('a"b\nc\t')
+
+    def test_unicode_escape(self):
+        triple = parse_line('<http://ex.org/s> <http://ex.org/p> "\\u00e9" .')
+        assert triple.object == Literal("é")
+
+    def test_blank_nodes(self):
+        triple = parse_line("_:a <http://ex.org/p> _:b .")
+        assert triple.subject == BNode("a") and triple.object == BNode("b")
+
+    def test_comment_and_blank_lines(self):
+        assert parse_line("# a comment") is None
+        assert parse_line("   ") is None
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_line("<http://ex.org/s> <http://ex.org/p> <http://ex.org/o>")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ParseError):
+            parse_line('"lit" <http://ex.org/p> <http://ex.org/o> .')
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_line('<http://ex.org/s> "p" <http://ex.org/o> .')
+
+    def test_bnode_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_line("<http://ex.org/s> _:p <http://ex.org/o> .")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_line("<http://ex.org/s> <http://ex.org/p> <http://ex.org/o> . junk")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_line("<http://ex.org/s> oops", line_number=7)
+        assert info.value.line == 7
+
+
+class TestDocumentRoundTrip:
+    def test_parse_serialize_round_trip(self):
+        doc = (
+            '<http://ex.org/s> <http://ex.org/p> "v" .\n'
+            "<http://ex.org/s> <http://ex.org/p> <http://ex.org/o> .\n"
+        )
+        triples = list(parse(doc))
+        assert list(parse(serialize(triples))) == triples
+
+    def test_dump_and_load_streams(self):
+        triples = [Triple(S, P, Literal("x")), Triple(S, P, IRI("http://ex.org/o"))]
+        buffer = io.StringIO()
+        assert dump(triples, buffer) == 2
+        buffer.seek(0)
+        assert list(load(buffer)) == triples
+
+
+_literal_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    max_size=40,
+)
+_iris = st.integers(min_value=0, max_value=50).map(lambda i: IRI(f"http://ex.org/r{i}"))
+_objects = st.one_of(
+    _iris,
+    _literal_values.map(Literal),
+    st.integers(min_value=0, max_value=30).map(lambda i: BNode(f"b{i}")),
+)
+_triples = st.builds(Triple, _iris, _iris, _objects)
+
+
+@given(st.lists(_triples, max_size=20))
+def test_property_serialize_parse_round_trip(triples):
+    assert list(parse(serialize(triples))) == triples

