@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Verify entrypoint: tier-1 test suite plus an observability smoke check.
+#
+#   ./scripts/check.sh
+#
+# 1. runs the full pytest suite (the repo's tier-1 gate, see ROADMAP.md);
+# 2. runs a LUBM query with tracing enabled and asserts the exported
+#    JSONL trace parses and its span tree is well-formed
+#    (scripts/trace_smoke.py).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q
+
+echo "== trace round-trip smoke =="
+python scripts/trace_smoke.py
+
+echo "check.sh: all green"

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Trace round-trip smoke check (see ``scripts/check.sh``).
+
+Runs a LUBM query with tracing enabled, writes the trace as JSONL,
+reads it back, and asserts that it parses and forms a well-formed span
+tree (unique ids, parents precede children, children contained in
+parent intervals, exactly one root per query) whose root inclusive
+time matches the query's reported virtual time.
+
+Exits non-zero on any problem; prints a one-line summary otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.datasets import lubm
+from repro.harness import make_engines
+from repro.obs import MetricsRegistry, Tracer, load_trace_jsonl, validate_trace
+
+
+def main() -> int:
+    federation = lubm.build_federation(2, profile=lubm.TINY_PROFILE, seed=42)
+    tracer = Tracer(enabled=True)
+    registry = MetricsRegistry()
+    engines = make_engines(
+        federation, which=("Lusail",), tracer=tracer, registry=registry
+    )
+    outcome = engines["Lusail"].execute(lubm.queries()["Q4"])
+    if not outcome.ok:
+        print(f"trace smoke: query failed with status {outcome.status}", file=sys.stderr)
+        return 1
+
+    with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as handle:
+        path = handle.name
+    from repro.obs import write_trace_jsonl
+
+    written = write_trace_jsonl(tracer.roots, path)
+    spans = load_trace_jsonl(path)
+    problems = validate_trace(spans)
+
+    if written == 0:
+        problems.append("no spans written")
+    if len(spans) != written:
+        problems.append(f"wrote {written} spans but read back {len(spans)}")
+
+    roots = [span for span in spans if span["parent_id"] is None]
+    if len(roots) != 1:
+        problems.append(f"expected exactly one root span, found {len(roots)}")
+    else:
+        root = roots[0]
+        reported = outcome.metrics.virtual_ms
+        inclusive = root["t1_ms"] - root["t0_ms"]
+        if reported > 0 and abs(inclusive - reported) / reported > 0.01:
+            problems.append(
+                f"root inclusive {inclusive:.3f}ms != reported {reported:.3f}ms"
+            )
+
+    if registry.counter_value("requests_total", engine="Lusail") == 0:
+        problems.append("registry recorded no requests for the traced query")
+
+    if problems:
+        for problem in problems:
+            print(f"trace smoke: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"trace smoke: ok ({len(spans)} spans, root "
+        f"{roots[0]['t1_ms'] - roots[0]['t0_ms']:.2f}ms virtual)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

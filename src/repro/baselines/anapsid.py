@@ -104,7 +104,9 @@ class AnapsidEngine(FederatedEngine):
         branch: Branch,
         normalized: NormalizedQuery,
     ) -> tuple[Relation, float]:
-        selection, now = self._select_sources(client, list(branch.all_patterns()), 0.0)
+        with client.tracer.span("source_selection", t0=0.0, index="catalog") as span:
+            selection, now = self._select_sources(client, list(branch.all_patterns()), 0.0)
+            span.set(requests=0).end(now)
         client.metrics.add_phase("source_selection", now)
 
         if any(not selection.relevant(pattern) for pattern in branch.patterns):
@@ -116,19 +118,33 @@ class AnapsidEngine(FederatedEngine):
         # Fully parallel dispatch: every operand to every endpoint, now.
         arrivals: list[tuple[float, Relation]] = []
         dispatch_at = now
-        for operand in operands:
-            operand_projection = tuple(
-                sorted(operand.variables() & projection, key=lambda v: v.name)
-            )
-            query = operand.to_select(operand_projection)
-            relation = Relation(operand_projection, partitions=max(1, len(operand.sources)))
-            completed = dispatch_at
-            for endpoint in operand.sources:
-                result, end = client.select(endpoint, query, dispatch_at)
-                completed = max(completed, end)
-                relation.rows.extend(result.rows)
-            self._guard_rows(client, relation)
-            arrivals.append((completed, relation))
+        mark = client.metrics.mark()
+        with client.tracer.span(
+            "parallel_dispatch", t0=dispatch_at, operands=len(operands)
+        ) as dispatch_span:
+            dispatch_end = dispatch_at
+            for operand in operands:
+                operand_projection = tuple(
+                    sorted(operand.variables() & projection, key=lambda v: v.name)
+                )
+                query = operand.to_select(operand_projection)
+                relation = Relation(operand_projection, partitions=max(1, len(operand.sources)))
+                completed = dispatch_at
+                with client.tracer.span(
+                    "operand", t0=dispatch_at, endpoints=list(operand.sources)
+                ) as span:
+                    for endpoint in operand.sources:
+                        result, end = client.select(endpoint, query, dispatch_at)
+                        completed = max(completed, end)
+                        relation.rows.extend(result.rows)
+                    span.set(rows=len(relation)).end(completed)
+                dispatch_end = max(dispatch_end, completed)
+                self._guard_rows(client, relation)
+                arrivals.append((completed, relation))
+            dispatch_span.set(
+                rows=sum(len(relation) for __, relation in arrivals),
+                requests=client.metrics.requests_since(mark),
+            ).end(dispatch_end)
 
         # Adaptive routing: join in arrival order, preferring connected
         # inputs; a relation only joins once both sides have arrived, so

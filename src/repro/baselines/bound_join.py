@@ -31,10 +31,15 @@ def evaluate_operand(
     query = operand.to_select(projection)
     relation = Relation(projection, partitions=max(1, len(operand.sources)))
     finish = at_ms
-    for endpoint in operand.sources:
-        result, end = client.select(endpoint, query, at_ms)
-        finish = max(finish, end)
-        relation.rows.extend(result.rows)
+    mark = client.metrics.mark()
+    with client.tracer.span("operand", t0=at_ms, endpoints=list(operand.sources)) as span:
+        for endpoint in operand.sources:
+            result, end = client.select(endpoint, query, at_ms)
+            finish = max(finish, end)
+            relation.rows.extend(result.rows)
+        span.set(
+            rows=len(relation), requests=client.metrics.requests_since(mark)
+        ).end(finish)
     return relation, finish
 
 
@@ -69,24 +74,40 @@ def bound_join(
     out_vars = current.vars + tuple(v for v in projection if v not in set(current.vars))
     joined = Relation(out_vars, partitions=max(1, len(operand.sources)))
     now = at_ms
-    for start in range(0, len(binding_rows), block_size):
-        block = binding_rows[start:start + block_size]
-        query = operand.to_select(projection, values=ValuesPattern(shared, block))
-        block_end = now
-        fetched = Relation(projection, partitions=max(1, len(operand.sources)))
-        for endpoint in operand.sources:
-            result, end = client.select(
-                endpoint, query, now, kind=metrics_module.BOUND
-            )
-            block_end = max(block_end, end)
-            fetched.rows.extend(result.rows)
-        # Serial across blocks: the next block is issued only after this
-        # one completed (FedX's synchronous pipeline).
-        now = block_end
-        block_joined = current.join(fetched)
-        joined.rows.extend(block_joined.project(out_vars).rows)
-        if stop_after_rows is not None and len(joined) >= stop_after_rows:
-            break
+    mark = client.metrics.mark()
+    blocks = 0
+    with client.tracer.span(
+        "bound_join",
+        t0=at_ms,
+        bindings=len(binding_rows),
+        block_size=block_size,
+        endpoints=list(operand.sources),
+    ) as span:
+        for start in range(0, len(binding_rows), block_size):
+            block = binding_rows[start:start + block_size]
+            query = operand.to_select(projection, values=ValuesPattern(shared, block))
+            block_end = now
+            fetched = Relation(projection, partitions=max(1, len(operand.sources)))
+            for endpoint in operand.sources:
+                result, end = client.select(
+                    endpoint, query, now, kind=metrics_module.BOUND
+                )
+                block_end = max(block_end, end)
+                fetched.rows.extend(result.rows)
+            # Serial across blocks: the next block is issued only after this
+            # one completed (FedX's synchronous pipeline).
+            now = block_end
+            blocks += 1
+            client.registry.inc("bound_join_blocks_total", engine=client.engine)
+            block_joined = current.join(fetched)
+            joined.rows.extend(block_joined.project(out_vars).rows)
+            if stop_after_rows is not None and len(joined) >= stop_after_rows:
+                break
+        span.set(
+            blocks=blocks,
+            rows=len(joined),
+            requests=client.metrics.requests_since(mark),
+        ).end(now)
     return joined, now
 
 
@@ -110,13 +131,26 @@ def left_bound_join(
     binding_rows = [row for row in bindings.rows if None not in row]
     fetched = Relation(projection, partitions=max(1, len(operand.sources)))
     now = at_ms
-    for start in range(0, len(binding_rows), block_size):
-        block = binding_rows[start:start + block_size]
-        query = operand.to_select(projection, values=ValuesPattern(shared, block))
-        block_end = now
-        for endpoint in operand.sources:
-            result, end = client.select(endpoint, query, now, kind=metrics_module.BOUND)
-            block_end = max(block_end, end)
-            fetched.rows.extend(result.rows)
-        now = block_end
+    mark = client.metrics.mark()
+    with client.tracer.span(
+        "bound_join",
+        t0=at_ms,
+        bindings=len(binding_rows),
+        block_size=block_size,
+        optional=True,
+        endpoints=list(operand.sources),
+    ) as span:
+        for start in range(0, len(binding_rows), block_size):
+            block = binding_rows[start:start + block_size]
+            query = operand.to_select(projection, values=ValuesPattern(shared, block))
+            block_end = now
+            for endpoint in operand.sources:
+                result, end = client.select(endpoint, query, now, kind=metrics_module.BOUND)
+                block_end = max(block_end, end)
+                fetched.rows.extend(result.rows)
+            now = block_end
+            client.registry.inc("bound_join_blocks_total", engine=client.engine)
+        span.set(
+            rows=len(fetched), requests=client.metrics.requests_since(mark)
+        ).end(now)
     return current.left_join(fetched), now

@@ -84,9 +84,15 @@ class FedXEngine(FederatedEngine):
     ) -> tuple[Relation, float]:
         now = 0.0
         all_patterns = list(branch.all_patterns())
-        selection, now = select_sources(client, all_patterns, now)
+        mark = client.metrics.mark()
+        with client.tracer.span("source_selection", t0=0.0) as span:
+            selection, now = select_sources(client, all_patterns, now)
+            now = self._prune_sources(client, branch, selection, now)
+            span.set(
+                patterns=len(all_patterns),
+                requests=client.metrics.requests_since(mark),
+            ).end(now)
         client.metrics.add_phase("source_selection", now)
-        now = self._prune_sources(client, branch, selection, now)
 
         if any(not selection.relevant(pattern) for pattern in branch.patterns):
             return Relation(tuple(normalized.projected_variables())), now

@@ -117,7 +117,13 @@ class SplendidEngine(FederatedEngine):
     ) -> tuple[Relation, float]:
         now = 0.0
         all_patterns = list(branch.all_patterns())
-        selection, now = self._select_sources(client, all_patterns, now)
+        mark = client.metrics.mark()
+        with client.tracer.span("source_selection", t0=0.0, index="void") as span:
+            selection, now = self._select_sources(client, all_patterns, now)
+            span.set(
+                patterns=len(all_patterns),
+                requests=client.metrics.requests_since(mark),
+            ).end(now)
         client.metrics.add_phase("source_selection", now)
 
         if any(not selection.relevant(pattern) for pattern in branch.patterns):

@@ -7,6 +7,7 @@ Commands
 ``query``     execute a query over a benchmark federation with any engine
 ``explain``   print Lusail's compile-time plan for a query
 ``bench``     run one of the paper's experiments and print its table
+``profile``   execute a query with tracing on and print the span tree
 
 Examples::
 
@@ -14,18 +15,35 @@ Examples::
     python -m repro query --benchmark lubm --name Q4 --engine fedx
     python -m repro explain --benchmark qfed --name Drug
     python -m repro bench --experiment fig03
+    python -m repro profile --benchmark lubm --name Q4 --trace-out /tmp/q4.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.engine import LusailEngine
 from repro.datasets import bio2rdf, io as dataset_io, largerdf, lubm, qfed, queries_largerdf
 from repro.endpoint.federation import Federation
-from repro.harness import ENGINE_ORDER, make_engines, results_by_query, run_matrix
+from repro.harness import (
+    ENGINE_ORDER,
+    make_engines,
+    results_by_query,
+    results_to_json,
+    run_matrix,
+)
 from repro.net.simulator import geo_distributed_config, local_cluster_config
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    endpoint_summary_table,
+    get_default_tracer,
+    render_span_tree,
+    write_metrics_json,
+    write_trace_jsonl,
+)
 
 
 def _build_federation(args) -> Federation:
@@ -91,10 +109,29 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _outcome_json(engine_name: str, query_name: str | None, outcome) -> dict:
+    metrics = outcome.metrics
+    return {
+        "engine": engine_name,
+        "query": query_name,
+        "status": outcome.status,
+        "virtual_ms": round(metrics.virtual_ms, 6),
+        "wall_ms": round(metrics.wall_ms, 6),
+        "requests": metrics.request_count(),
+        "rows_shipped": metrics.rows_shipped(),
+        "result_rows": len(outcome.result),
+        "phase_ms": {k: round(v, 6) for k, v in metrics.phase_ms.items()},
+        "requests_by_kind": dict(metrics.requests_by_kind()),
+    }
+
+
 def cmd_query(args) -> int:
     federation = _build_federation(args)
     config = geo_distributed_config() if args.geo else local_cluster_config()
-    engines = make_engines(federation, network_config=config, which=(args.engine,))
+    tracer = Tracer(enabled=True) if args.trace_out else None
+    engines = make_engines(
+        federation, network_config=config, which=(args.engine,), tracer=tracer
+    )
     engine = engines[args.engine]
     text = _resolve_query(args)
     outcome = engine.execute(text)
@@ -108,6 +145,52 @@ def cmd_query(args) -> int:
         f"{outcome.metrics.rows_shipped()} rows shipped, "
         f"{outcome.metrics.virtual_ms:.2f} virtual ms"
     )
+    if args.trace_out:
+        write_trace_jsonl(tracer.roots, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(_outcome_json(args.engine, args.name, outcome), stream, indent=2)
+            stream.write("\n")
+        print(f"summary written to {args.json}")
+    return 0 if outcome.ok else 1
+
+
+def cmd_profile(args) -> int:
+    """Run one query with tracing enabled and print the span tree."""
+    federation = _build_federation(args)
+    config = geo_distributed_config() if args.geo else local_cluster_config()
+    tracer = Tracer(enabled=True)
+    registry = MetricsRegistry()
+    engines = make_engines(
+        federation,
+        network_config=config,
+        which=(args.engine,),
+        tracer=tracer,
+        registry=registry,
+    )
+    engine = engines[args.engine]
+    outcome = engine.execute(_resolve_query(args))
+    metrics = outcome.metrics
+
+    for root in tracer.roots:
+        print(render_span_tree(root))
+    print()
+    print(endpoint_summary_table(metrics))
+    print()
+    print(
+        f"status: {outcome.status}; {len(outcome.result)} rows, "
+        f"{metrics.request_count()} requests "
+        f"({metrics.request_count(include_cached=True) - metrics.request_count()} cached), "
+        f"{metrics.rows_shipped()} rows shipped, "
+        f"{metrics.virtual_ms:.2f} virtual ms"
+    )
+    if args.trace_out:
+        write_trace_jsonl(tracer.roots, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if args.json:
+        write_metrics_json(registry, args.json)
+        print(f"metrics snapshot written to {args.json}")
     return 0 if outcome.ok else 1
 
 
@@ -121,7 +204,16 @@ def cmd_explain(args) -> int:
 def cmd_bench(args) -> int:
     from repro.harness import experiments
 
+    # --trace-out: experiments construct engines internally, which pick
+    # up the process-wide default tracer — enable it for the run.
+    tracer = get_default_tracer()
+    if args.trace_out:
+        tracer.enable()
+        tracer.clear()
+
     name = args.experiment
+    rows = None
+    results = None
     if name == "fig03":
         rows = experiments.fig03_fedx_sensitivity()
     elif name == "table01":
@@ -151,16 +243,30 @@ def cmd_bench(args) -> int:
             results = experiments.real_endpoints()
         order = [e for e in ENGINE_ORDER if any(r.engine == e for r in results)]
         print(results_by_query(results, order))
-        return 0
     else:
         raise SystemExit(f"unknown experiment {name!r}")
-    if rows:
+
+    if rows is not None and rows:
         headers = list(rows[0].keys())
         print("\t".join(headers))
         for row in rows:
             print("\t".join(
                 f"{row[h]:.1f}" if isinstance(row[h], float) else str(row[h]) for h in headers
             ))
+
+    if args.json:
+        payload = {
+            "experiment": name,
+            "rows": results_to_json(results if results is not None else rows or []),
+        }
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        print(f"results written to {args.json}")
+    if args.trace_out:
+        write_trace_jsonl(tracer.roots, args.trace_out)
+        tracer.disable()
+        print(f"trace written to {args.trace_out}")
     return 0
 
 
@@ -180,6 +286,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--name", help="named benchmark query (e.g. Q1, C2P2, S3, R1)")
     query.add_argument("--query-file", help="file containing a SPARQL query")
     query.add_argument("--limit", type=int, default=10, help="rows to print")
+    query.add_argument("--trace-out", help="write the query's span trace as JSONL")
+    query.add_argument("--json", help="write a machine-readable run summary")
     query.set_defaults(func=cmd_query)
 
     explain = subparsers.add_parser("explain", help="print Lusail's plan")
@@ -193,7 +301,21 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["fig03", "table01", "preprocessing", "fig09", "fig10a",
                                 "fig10bc", "fig11", "fig12-2", "fig12-4", "fig13",
                                 "fig14c", "real", "ablation"])
+    bench.add_argument("--json", help="write engine x query results as JSON")
+    bench.add_argument("--trace-out", help="write every query's span trace as JSONL")
     bench.set_defaults(func=cmd_bench)
+
+    profile = subparsers.add_parser(
+        "profile", help="execute a query with tracing on and print the span tree"
+    )
+    _add_federation_args(profile)
+    profile.add_argument("--engine", default="Lusail",
+                         choices=["Lusail", "FedX", "HiBISCuS", "SPLENDID"])
+    profile.add_argument("--name", help="named benchmark query")
+    profile.add_argument("--query-file", help="file containing a SPARQL query")
+    profile.add_argument("--trace-out", help="write the span trace as JSONL")
+    profile.add_argument("--json", help="write a metrics-registry snapshot as JSON")
+    profile.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -116,15 +116,29 @@ def detect_gjvs(
             )
 
     finish = at_ms
-    for check in pending_checks:
-        # Skip pairs already proven global by an earlier check.
-        if check.pair in result.variables.get(check.variable, set()):
-            continue
-        for endpoint_name in check.sources:
-            non_empty, end = client.check(endpoint_name, check.query, at_ms)
-            finish = max(finish, end)
-            result.check_queries_run += 1
-            if non_empty:
-                result.add(check.variable, check.pair)
-                break
+    with client.tracer.span(
+        "gjv_detection", t0=at_ms, join_variables=[v.name for v in variables]
+    ) as detection_span:
+        for check in pending_checks:
+            # Skip pairs already proven global by an earlier check.
+            if check.pair in result.variables.get(check.variable, set()):
+                continue
+            for endpoint_name in check.sources:
+                with client.tracer.span(
+                    "check_query",
+                    t0=at_ms,
+                    variable=check.variable.name,
+                    endpoint=endpoint_name,
+                ) as span:
+                    non_empty, end = client.check(endpoint_name, check.query, at_ms)
+                    span.set(non_empty=non_empty, requests=1).end(end)
+                finish = max(finish, end)
+                result.check_queries_run += 1
+                if non_empty:
+                    result.add(check.variable, check.pair)
+                    break
+        detection_span.set(
+            gjvs=[v.name for v in result.variables],
+            check_queries=result.check_queries_run,
+        ).end(finish)
     return result, finish

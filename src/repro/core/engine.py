@@ -155,63 +155,103 @@ class LusailEngine(FederatedEngine):
     ) -> tuple[Relation, float, dict[str, float]]:
         now = 0.0
         phases: dict[str, float] = {}
+        tracer = client.tracer
 
-        # ---- Phase 1: source selection --------------------------------
-        all_patterns = list(branch.all_patterns())
-        selection, now = select_sources(client, all_patterns, now)
-        phases["source_selection"] = now
+        with tracer.span("branch", t0=0.0) as branch_span:
+            # ---- Phase 1: source selection ----------------------------
+            all_patterns = list(branch.all_patterns())
+            mark = client.metrics.mark()
+            with tracer.span("source_selection", t0=0.0) as span:
+                selection, now = select_sources(client, all_patterns, now)
+                span.set(
+                    patterns=len(all_patterns),
+                    requests=client.metrics.requests_since(mark),
+                ).end(now)
+            phases["source_selection"] = now
 
-        missing_required = [
-            pattern for pattern in branch.patterns if not selection.relevant(pattern)
-        ]
-        if missing_required:
-            # Some required pattern has no source anywhere: empty answer.
-            return Relation(tuple(normalized.projected_variables())), now, phases
+            missing_required = [
+                pattern for pattern in branch.patterns if not selection.relevant(pattern)
+            ]
+            if missing_required:
+                # Some required pattern has no source anywhere: empty answer.
+                branch_span.set(empty="no source for required pattern").end(now)
+                return Relation(tuple(normalized.projected_variables())), now, phases
 
-        # ---- Phase 2: analysis (LADE + statistics) ---------------------
-        analysis_start = now
-        plan, now = self._decompose_branch(client, branch, selection, now)
-        plan_info.branch_plans.append(plan)
-        plan_info.gjv_names = sorted(set(plan_info.gjv_names) | set(plan.gjv_names()))
-        plan_info.subquery_count += len(plan.subqueries)
-        plan_info.check_queries += plan.check_query_count
+            # ---- Phase 2: analysis (LADE + statistics) -----------------
+            analysis_start = now
+            with tracer.span("analysis", t0=now) as analysis_span:
+                with tracer.span("decomposition", t0=now) as span:
+                    plan, now = self._decompose_branch(client, branch, selection, now)
+                    span.set(
+                        subqueries=len(plan.subqueries),
+                        gjvs=plan.gjv_names(),
+                        check_queries=plan.check_query_count,
+                    ).end(now)
+                plan_info.branch_plans.append(plan)
+                plan_info.gjv_names = sorted(set(plan_info.gjv_names) | set(plan.gjv_names()))
+                plan_info.subquery_count += len(plan.subqueries)
+                plan_info.check_queries += plan.check_query_count
 
-        needed_vars = self._needed_variables(plan, normalized)
+                needed_vars = self._needed_variables(plan, normalized)
 
-        estimates, now = collect_statistics(client, plan.subqueries, now)
-        if self.config.enable_delay:
-            decide_delays(
-                plan.subqueries,
-                estimates,
-                projected=needed_vars,
-                policy=self.config.delay_policy,
-                use_chauvenet=self.config.use_chauvenet,
+                estimates, now = collect_statistics(client, plan.subqueries, now)
+                with tracer.span("delay_decision", t0=now) as span:
+                    if self.config.enable_delay:
+                        decision = decide_delays(
+                            plan.subqueries,
+                            estimates,
+                            projected=needed_vars,
+                            policy=self.config.delay_policy,
+                            use_chauvenet=self.config.use_chauvenet,
+                        )
+                        span.set(
+                            policy=str(self.config.delay_policy.value),
+                            cardinality_threshold=decision.cardinality_threshold,
+                            endpoint_threshold=decision.endpoint_threshold,
+                            delayed=sorted(decision.delayed_ids),
+                            chauvenet_rejected=sorted(decision.cardinality_rejected_ids),
+                            estimated_cardinalities=decision.cardinalities,
+                        )
+                    else:
+                        for subquery in plan.subqueries:
+                            subquery.estimated_cardinality = estimates.subquery_cardinality(
+                                subquery, needed_vars
+                            )
+                            subquery.delayed = False
+                        span.set(policy="disabled", delayed=[])
+                    span.end(now)
+                analysis_span.end(now)
+            delayed_count = sum(1 for sq in plan.subqueries if sq.delayed)
+            plan_info.delayed_count += delayed_count
+            client.registry.inc("subqueries_total", len(plan.subqueries), engine=self.name)
+            client.registry.inc("delayed_subqueries_total", delayed_count, engine=self.name)
+            client.registry.inc(
+                "check_queries_total", plan.check_query_count, engine=self.name
             )
-        else:
-            for subquery in plan.subqueries:
-                subquery.estimated_cardinality = estimates.subquery_cardinality(
-                    subquery, needed_vars
-                )
-                subquery.delayed = False
-        plan_info.delayed_count += sum(1 for sq in plan.subqueries if sq.delayed)
-        phases["analysis"] = now - analysis_start
+            phases["analysis"] = now - analysis_start
 
-        # ---- Phase 3: execution (SAPE) ---------------------------------
-        execution_start = now
-        scheduler = self.scheduler_class(
-            client=client,
-            plan=plan,
-            needed_vars=needed_vars,
-            estimates=estimates,
-            mediator=self.mediator,
-            config=self.config.scheduler_config(),
-        )
-        outcome = scheduler.run(now)
-        now = outcome.end_ms + self.mediator.row_ms * outcome.join_cost_units
-        phases["execution"] = now - execution_start
-        client.metrics.mediator_rows = max(
-            client.metrics.mediator_rows, len(outcome.relation)
-        )
+            # ---- Phase 3: execution (SAPE) -----------------------------
+            execution_start = now
+            with tracer.span("execution", t0=now) as span:
+                scheduler = self.scheduler_class(
+                    client=client,
+                    plan=plan,
+                    needed_vars=needed_vars,
+                    estimates=estimates,
+                    mediator=self.mediator,
+                    config=self.config.scheduler_config(),
+                )
+                outcome = scheduler.run(now)
+                now = outcome.end_ms + self.mediator.row_ms * outcome.join_cost_units
+                span.set(
+                    rows=len(outcome.relation),
+                    join_cost_units=outcome.join_cost_units,
+                ).end(now)
+            phases["execution"] = now - execution_start
+            client.metrics.mediator_rows = max(
+                client.metrics.mediator_rows, len(outcome.relation)
+            )
+            branch_span.set(rows=len(outcome.relation)).end(now)
         return outcome.relation, now, phases
 
     # -------------------------------------------------------- decomposition
@@ -404,6 +444,9 @@ class LusailEngine(FederatedEngine):
             caches=self.caches,
             timeout_ms=self.timeout_ms,
             metrics=QueryMetrics(),
+            tracer=self.tracer,
+            registry=self.registry,
+            engine=self.name,
         )
         lines: list[str] = []
         for branch_index, branch in enumerate(normalized.branches):
@@ -412,7 +455,7 @@ class LusailEngine(FederatedEngine):
             plan, now = self._decompose_branch(client, branch, selection, now)
             needed = self._needed_variables(plan, normalized)
             estimates, now = collect_statistics(client, plan.subqueries, now)
-            decide_delays(
+            decision = decide_delays(
                 plan.subqueries,
                 estimates,
                 projected=needed,
@@ -421,14 +464,33 @@ class LusailEngine(FederatedEngine):
             )
             lines.append(f"  global join variables: {plan.gjv_names() or '(none)'}")
             lines.append(f"  check queries run: {plan.check_query_count}")
+            lines.append(
+                f"  delay decision [{self.config.delay_policy.value}]: "
+                f"cardinality threshold={decision.cardinality_threshold:.1f}, "
+                f"endpoint threshold={decision.endpoint_threshold:.1f}"
+            )
+            rejected = sorted(
+                decision.cardinality_rejected_ids | decision.endpoint_rejected_ids
+            )
+            lines.append(
+                "  chauvenet rejected: "
+                + (f"subqueries {rejected}" if rejected else "(none)")
+            )
             if plan.disjoint:
                 lines.append("  disjoint: whole branch evaluated per endpoint")
             for subquery in plan.subqueries:
                 tag = "OPTIONAL " if subquery.optional_group is not None else ""
                 delay = "delayed" if subquery.delayed else "eager"
+                cardinality = decision.cardinalities.get(
+                    subquery.id, subquery.estimated_cardinality
+                )
+                comparison = ">=" if cardinality >= decision.cardinality_threshold else "<"
                 lines.append(
                     f"  {tag}subquery {subquery.id} [{delay}, "
-                    f"est.card={subquery.estimated_cardinality:.0f}] "
+                    f"est.card={cardinality:.0f} {comparison} "
+                    f"threshold {decision.cardinality_threshold:.1f}, "
+                    f"endpoints={decision.endpoint_counts.get(subquery.id, len(subquery.sources))}"
+                    f"{', chauvenet-rejected' if subquery.id in rejected else ''}] "
                     f"sources={list(subquery.sources)}"
                 )
                 for pattern in subquery.patterns:

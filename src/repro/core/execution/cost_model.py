@@ -102,16 +102,22 @@ def collect_statistics(
     """
     estimates = CardinalityEstimates()
     finish = at_ms
-    for subquery in subqueries:
-        for pattern in subquery.patterns:
-            query = count_query(pattern, subquery.filters)
-            for endpoint in subquery.sources:
-                key = (pattern, endpoint)
-                if key in estimates.pattern_counts:
-                    continue
-                count, end = client.count(endpoint, query, at_ms)
-                finish = max(finish, end)
-                estimates.pattern_counts[key] = count
+    mark = client.metrics.mark()
+    with client.tracer.span("statistics", t0=at_ms) as span:
+        for subquery in subqueries:
+            for pattern in subquery.patterns:
+                query = count_query(pattern, subquery.filters)
+                for endpoint in subquery.sources:
+                    key = (pattern, endpoint)
+                    if key in estimates.pattern_counts:
+                        continue
+                    count, end = client.count(endpoint, query, at_ms)
+                    finish = max(finish, end)
+                    estimates.pattern_counts[key] = count
+        span.set(
+            probes=len(estimates.pattern_counts),
+            requests=client.metrics.requests_since(mark),
+        ).end(finish)
     return estimates, finish
 
 
@@ -124,6 +130,10 @@ class DelayDecision:
     cardinality_threshold: float
     endpoint_threshold: float
     delayed_ids: set[int]
+    #: Subquery ids whose cardinality / endpoint count Chauvenet's
+    #: criterion rejected before computing mu and sigma.
+    cardinality_rejected_ids: set[int] = field(default_factory=set)
+    endpoint_rejected_ids: set[int] = field(default_factory=set)
 
 
 def decide_delays(
@@ -217,4 +227,6 @@ def decide_delays(
         cardinality_threshold=card_threshold,
         endpoint_threshold=endpoint_threshold,
         delayed_ids=delayed_ids,
+        cardinality_rejected_ids={subqueries[i].id for i in card_stats.outliers},
+        endpoint_rejected_ids={subqueries[i].id for i in endpoint_stats.outliers},
     )

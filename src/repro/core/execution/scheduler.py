@@ -106,10 +106,23 @@ class BranchScheduler:
         query = subquery.to_select(projection)
         relation = Relation(projection, partitions=1)
         finish = at_ms
-        for endpoint in subquery.sources:
-            result, end = self.client.select(endpoint, query, at_ms, kind=kind)
-            finish = max(finish, end)
-            relation.rows.extend(result.rows)
+        mark = self.client.metrics.mark()
+        with self.client.tracer.span(
+            "subquery",
+            t0=at_ms,
+            subquery=subquery.id,
+            delayed=subquery.delayed,
+            estimated_cardinality=subquery.estimated_cardinality,
+            endpoints=list(subquery.sources),
+        ) as span:
+            for endpoint in subquery.sources:
+                result, end = self.client.select(endpoint, query, at_ms, kind=kind)
+                finish = max(finish, end)
+                relation.rows.extend(result.rows)
+            span.set(
+                rows=len(relation),
+                requests=self.client.metrics.requests_since(mark),
+            ).end(finish)
         relation.partitions = self.handler.partitions_for(subquery.sources, len(relation))
         self._guard_rows(len(relation))
         return relation, finish
@@ -129,15 +142,45 @@ class BranchScheduler:
         relation = Relation(projection, partitions=1)
         finish = at_ms
         block_size = self.config.block_size
-        for start in range(0, len(binding_rows), block_size):
-            block = binding_rows[start:start + block_size]
-            query = subquery.to_select(projection, values=values_block(bind_vars, block))
-            for endpoint in sources:
-                result, end = self.client.select(
-                    endpoint, query, at_ms, kind=metrics_module.BOUND
+        tracer = self.client.tracer
+        metrics = self.client.metrics
+        with tracer.span(
+            "bound_subquery",
+            t0=at_ms,
+            subquery=subquery.id,
+            bindings=len(binding_rows),
+            estimated_cardinality=subquery.estimated_cardinality,
+            endpoints=list(sources),
+        ) as subquery_span:
+            for start in range(0, len(binding_rows), block_size):
+                block = binding_rows[start:start + block_size]
+                query = subquery.to_select(projection, values=values_block(bind_vars, block))
+                mark = metrics.mark()
+                rows_before = len(relation)
+                with tracer.span(
+                    "bound_block", t0=at_ms, block=start // block_size, bindings=len(block)
+                ) as block_span:
+                    block_end = at_ms
+                    for endpoint in sources:
+                        result, end = self.client.select(
+                            endpoint, query, at_ms, kind=metrics_module.BOUND
+                        )
+                        block_end = max(block_end, end)
+                        finish = max(finish, end)
+                        relation.rows.extend(result.rows)
+                    block_span.set(
+                        rows=len(relation) - rows_before,
+                        requests=metrics.requests_since(mark),
+                    ).end(block_end)
+                self.client.registry.inc(
+                    "bound_join_blocks_total", engine=self.client.engine
                 )
-                finish = max(finish, end)
-                relation.rows.extend(result.rows)
+            subquery_span.set(
+                rows=len(relation),
+                requests=sum(
+                    int(child.attrs.get("requests", 0)) for child in subquery_span.children
+                ),
+            ).end(finish)
         relation.partitions = self.handler.partitions_for(sources, len(relation))
         self._guard_rows(len(relation))
         return relation, finish
@@ -145,25 +188,32 @@ class BranchScheduler:
     # ----------------------------------------------------------- components
 
     def _merge_into_components(
-        self, components: list[_Component], relation: Relation
+        self, components: list[_Component], relation: Relation, at_ms: float = 0.0
     ) -> None:
         """Join a new relation into every component it connects with."""
         vars = set(relation.vars)
         connected = [c for c in components if c.variables & vars]
         merged_relation = relation
         merged_vars = set(vars)
-        for component in connected:
-            build, probe = (
-                (component.relation, merged_relation)
-                if len(component.relation) <= len(merged_relation)
-                else (merged_relation, component.relation)
-            )
-            self.join_cost_units += len(build) / max(1, build.partitions) + len(probe) / max(
-                1, probe.partitions
-            )
-            merged_relation = component.relation.join(merged_relation)
-            merged_vars |= component.variables
-            components.remove(component)
+        with self.client.tracer.span(
+            "mediator_join", t0=at_ms, inputs=len(connected) + 1
+        ) as span:
+            for component in connected:
+                build, probe = (
+                    (component.relation, merged_relation)
+                    if len(component.relation) <= len(merged_relation)
+                    else (merged_relation, component.relation)
+                )
+                self.join_cost_units += len(build) / max(1, build.partitions) + len(probe) / max(
+                    1, probe.partitions
+                )
+                merged_relation = component.relation.join(merged_relation)
+                merged_vars |= component.variables
+                components.remove(component)
+            span.set(rows=len(merged_relation)).end(at_ms)
+        self.client.registry.inc(
+            "mediator_join_rows_total", len(merged_relation), engine=self.client.engine
+        )
         self._guard_rows(len(merged_relation))
         components.append(_Component(relation=merged_relation, variables=merged_vars))
 
@@ -201,9 +251,12 @@ class BranchScheduler:
     def run(self, at_ms: float) -> BranchOutcome:
         required = self.plan.required_subqueries()
         optional_groups = self.plan.optional_groups()
+        tracer = self.client.tracer
 
         if self.plan.disjoint and not optional_groups:
-            relation, end = self._execute_subquery(required[0], at_ms)
+            with tracer.span("phase1", t0=at_ms, disjoint=True) as span:
+                relation, end = self._execute_subquery(required[0], at_ms)
+                span.set(rows=len(relation)).end(end)
             relation = self._apply_residue(relation)
             return BranchOutcome(relation, end, self.join_cost_units)
 
@@ -213,38 +266,49 @@ class BranchScheduler:
         # Phase one: non-delayed required subqueries, concurrently.
         eager = [sq for sq in required if not sq.delayed]
         eager_results: list[tuple[Subquery, Relation]] = []
-        phase_end = now
-        for subquery in eager:
-            relation, end = self._execute_subquery(subquery, now)
-            phase_end = max(phase_end, end)
-            eager_results.append((subquery, relation))
-        now = phase_end
+        with tracer.span("phase1", t0=now, subqueries=[sq.id for sq in eager]) as span:
+            phase_end = now
+            for subquery in eager:
+                relation, end = self._execute_subquery(subquery, now)
+                phase_end = max(phase_end, end)
+                eager_results.append((subquery, relation))
+            now = phase_end
 
-        # Join connected eager results (DP order inside each component).
-        components = self._join_eager(eager_results)
+            # Join connected eager results (DP order inside each component).
+            components = self._join_eager(eager_results, now)
+            span.set(rows=sum(len(r) for __, r in eager_results)).end(now)
 
         # Phase two: delayed required subqueries, most selective first.
         delayed = [sq for sq in required if sq.delayed]
-        while delayed:
-            delayed.sort(key=lambda sq: self._refined_cardinality(sq, components))
-            subquery = delayed.pop(0)
-            now = self._run_delayed(subquery, components, now)
+        if delayed:
+            with tracer.span(
+                "phase2", t0=now, subqueries=[sq.id for sq in delayed]
+            ) as span:
+                while delayed:
+                    delayed.sort(key=lambda sq: self._refined_cardinality(sq, components))
+                    subquery = delayed.pop(0)
+                    now = self._run_delayed(subquery, components, now)
+                span.end(now)
 
         # Combine remaining components (cross product only if genuinely
         # disconnected).
-        relation = self._combine_components(components)
+        relation = self._combine_components(components, now)
 
         # OPTIONAL groups: evaluate with bindings, left join.
         for group_id in sorted(optional_groups):
-            relation, now = self._run_optional_group(
-                optional_groups[group_id], relation, now
-            )
+            with tracer.span("optional_group", t0=now, group=group_id) as span:
+                relation, now = self._run_optional_group(
+                    optional_groups[group_id], relation, now
+                )
+                span.set(rows=len(relation)).end(now)
 
         relation = self._apply_residue(relation)
         now += self.mediator.scan_ms(len(relation))
         return BranchOutcome(relation, now, self.join_cost_units)
 
-    def _join_eager(self, eager_results: list[tuple[Subquery, Relation]]) -> list[_Component]:
+    def _join_eager(
+        self, eager_results: list[tuple[Subquery, Relation]], at_ms: float = 0.0
+    ) -> list[_Component]:
         """Group eager relations into connected components and join each."""
         components: list[_Component] = []
         if not eager_results:
@@ -267,9 +331,19 @@ class BranchScheduler:
             if len(relations) == 1:
                 joined = relations[0]
             else:
-                plan = plan_joins(relations, greedy=self.config.greedy_join_order)
-                joined, cost = execute_plan(plan, relations)
-                self.join_cost_units += cost
+                with self.client.tracer.span(
+                    "join_ordering",
+                    t0=at_ms,
+                    algorithm="greedy" if self.config.greedy_join_order else "dp",
+                    inputs=len(relations),
+                ) as span:
+                    plan = plan_joins(relations, greedy=self.config.greedy_join_order)
+                    joined, cost = execute_plan(plan, relations)
+                    self.join_cost_units += cost
+                    span.set(rows=len(joined), join_cost_units=cost).end(at_ms)
+                self.client.registry.inc(
+                    "mediator_join_rows_total", len(joined), engine=self.client.engine
+                )
             self._guard_rows(len(joined))
             components.append(_Component(relation=joined, variables=set(joined.vars)))
         return components
@@ -299,7 +373,7 @@ class BranchScheduler:
             relation, end = self._execute_bound_subquery(
                 subquery, bind_vars, rows, sources, now
             )
-        self._merge_into_components(components, relation)
+        self._merge_into_components(components, relation, end)
         return end
 
     def _is_generic(self, subquery: Subquery) -> bool:
@@ -341,15 +415,21 @@ class BranchScheduler:
         )
         return (refined or sources), end
 
-    def _combine_components(self, components: list[_Component]) -> Relation:
+    def _combine_components(
+        self, components: list[_Component], at_ms: float = 0.0
+    ) -> Relation:
         if not components:
             return Relation.unit()
         relations = [component.relation for component in components]
         if len(relations) == 1:
             return relations[0]
-        plan = plan_joins(relations, greedy=True)
-        joined, cost = execute_plan(plan, relations)
-        self.join_cost_units += cost
+        with self.client.tracer.span(
+            "mediator_join", t0=at_ms, inputs=len(relations), cross_product=True
+        ) as span:
+            plan = plan_joins(relations, greedy=True)
+            joined, cost = execute_plan(plan, relations)
+            self.join_cost_units += cost
+            span.set(rows=len(joined), join_cost_units=cost).end(at_ms)
         self._guard_rows(len(joined))
         return joined
 

@@ -22,6 +22,8 @@ from repro.exceptions import NetworkError, QueryTimeoutError
 from repro.net import metrics as metrics_module
 from repro.net.metrics import QueryMetrics
 from repro.net.simulator import NetworkConfig, VirtualNetwork
+from repro.obs.registry import MetricsRegistry, get_default_registry
+from repro.obs.trace import Tracer, get_default_tracer
 from repro.rdf.triple import TriplePattern
 from repro.sparql.ast import AskQuery, Query, SelectQuery
 from repro.sparql.evaluator import SelectResult
@@ -61,13 +63,21 @@ class FederationClient:
         caches: EngineCaches | None = None,
         timeout_ms: float | None = None,
         metrics: QueryMetrics | None = None,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+        engine: str = "",
     ):
         self.federation = federation
         self.config = config
         self.caches = caches if caches is not None else EngineCaches()
         self.timeout_ms = timeout_ms
         self.metrics = metrics if metrics is not None else QueryMetrics()
-        self.network = VirtualNetwork(config, self.metrics)
+        self.tracer = tracer if tracer is not None else get_default_tracer()
+        self.registry = registry if registry is not None else get_default_registry()
+        self.engine = engine
+        self.network = VirtualNetwork(
+            config, self.metrics, registry=self.registry, engine=engine
+        )
 
     # ------------------------------------------------------------ helpers
 

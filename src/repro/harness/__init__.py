@@ -1,6 +1,12 @@
 """Experiment harness: per-figure experiment functions, runner, reporting."""
 
-from repro.harness.reporting import format_table, print_banner, results_by_query, speedup_summary
+from repro.harness.reporting import (
+    format_table,
+    print_banner,
+    results_by_query,
+    results_to_json,
+    speedup_summary,
+)
 from repro.harness.runner import (
     DEFAULT_TIMEOUT_MS,
     ENGINE_ORDER,
@@ -18,6 +24,7 @@ __all__ = [
     "make_engines",
     "print_banner",
     "results_by_query",
+    "results_to_json",
     "run_matrix",
     "run_query",
     "speedup_summary",

@@ -18,6 +18,8 @@ from repro.baselines.splendid import SplendidEngine
 from repro.core.engine import LusailConfig, LusailEngine
 from repro.endpoint.federation import Federation
 from repro.net.simulator import NetworkConfig
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.planning.base_engine import ExecutionOutcome, FederatedEngine
 
 #: Default virtual-time budget per query.  The paper uses one hour
@@ -34,8 +36,15 @@ def make_engines(
     which: Sequence[str] = ENGINE_ORDER,
     timeout_ms: float = DEFAULT_TIMEOUT_MS,
     lusail_config: LusailConfig | None = None,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> dict[str, FederatedEngine]:
-    """Instantiate the requested engines against one federation."""
+    """Instantiate the requested engines against one federation.
+
+    ``tracer``/``registry`` override the process-wide observability
+    sinks for every created engine (profiling runs pass fresh,
+    isolated instances here).
+    """
     factories: dict[str, Callable[[], FederatedEngine]] = {
         "Lusail": lambda: LusailEngine(
             federation,
@@ -53,7 +62,13 @@ def make_engines(
             federation, network_config=network_config, timeout_ms=timeout_ms
         ),
     }
-    return {name: factories[name]() for name in which}
+    engines = {name: factories[name]() for name in which}
+    for engine in engines.values():
+        if tracer is not None:
+            engine.tracer = tracer
+        if registry is not None:
+            engine.registry = registry
+    return engines
 
 
 @dataclass
@@ -73,6 +88,20 @@ class RunResult:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``repro bench --json``)."""
+        return {
+            "engine": self.engine,
+            "query": self.query,
+            "status": self.status,
+            "virtual_ms": round(self.virtual_ms, 6),
+            "wall_ms": round(self.wall_ms, 6),
+            "requests": self.requests,
+            "rows_shipped": self.rows_shipped,
+            "result_rows": self.result_rows,
+            "phase_ms": {k: round(v, 6) for k, v in self.phase_ms.items()},
+        }
 
     def display_time(self) -> str:
         if self.status == "timeout":

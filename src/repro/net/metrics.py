@@ -5,13 +5,17 @@ Every remote call an engine makes is recorded here: what kind of request
 block), which endpoint served it, how many rows/bytes moved, and how much
 virtual time it took.  The benchmark harness reads these counters to
 regenerate the paper's request-count and response-time plots.
+
+Cache hits never touch the network; every aggregator excludes them by
+default through one shared filter (:meth:`QueryMetrics.iter_records`),
+matching how the paper counts requests with warmed caches.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
 #: Request kinds, used for per-phase breakdowns.
 ASK = "ask"
@@ -58,37 +62,76 @@ class QueryMetrics:
 
     # ------------------------------------------------------------ queries
 
-    def request_count(self, *kinds: str, include_cached: bool = False) -> int:
-        """Number of remote requests, optionally filtered by kind.
+    def iter_records(
+        self, *kinds: str, include_cached: bool = False, start: int = 0
+    ) -> Iterator[RequestRecord]:
+        """The single cached-requests filter every aggregator goes through.
 
-        Cache hits never touch the network and are excluded by default,
-        matching how the paper counts requests with warmed caches.
+        Cache hits are excluded unless ``include_cached``; ``kinds``
+        restricts to the given request kinds; ``start`` skips records
+        before a :meth:`mark` (for windowed span accounting).
         """
         wanted = set(kinds) if kinds else None
-        return sum(
-            1
-            for record in self.records
-            if (include_cached or not record.cached)
-            and (wanted is None or record.kind in wanted)
+        for record in self.records[start:]:
+            if not include_cached and record.cached:
+                continue
+            if wanted is not None and record.kind not in wanted:
+                continue
+            yield record
+
+    def request_count(self, *kinds: str, include_cached: bool = False) -> int:
+        """Number of remote requests, optionally filtered by kind."""
+        return sum(1 for __ in self.iter_records(*kinds, include_cached=include_cached))
+
+    def requests_by_kind(self, include_cached: bool = False) -> Counter:
+        return Counter(
+            record.kind for record in self.iter_records(include_cached=include_cached)
         )
 
-    def requests_by_kind(self) -> Counter:
-        return Counter(record.kind for record in self.records if not record.cached)
-
-    def rows_shipped(self, *kinds: str) -> int:
-        wanted = set(kinds) if kinds else None
+    def rows_shipped(self, *kinds: str, include_cached: bool = False) -> int:
         return sum(
             record.rows
-            for record in self.records
-            if not record.cached and (wanted is None or record.kind in wanted)
+            for record in self.iter_records(*kinds, include_cached=include_cached)
         )
 
-    def bytes_shipped(self) -> int:
+    def bytes_shipped(self, include_cached: bool = False) -> int:
         return sum(
             record.request_bytes + record.response_bytes
-            for record in self.records
-            if not record.cached
+            for record in self.iter_records(include_cached=include_cached)
         )
+
+    # ----------------------------------------------------- span accounting
+
+    def mark(self) -> int:
+        """A cursor into the record list; pair with the ``*_since`` helpers
+        to attribute requests/rows to one traced stage."""
+        return len(self.records)
+
+    def requests_since(self, mark: int, include_cached: bool = False) -> int:
+        return sum(1 for __ in self.iter_records(include_cached=include_cached, start=mark))
+
+    def rows_since(self, mark: int) -> int:
+        return sum(record.rows for record in self.iter_records(start=mark))
+
+    def endpoint_summary(self) -> dict[str, dict]:
+        """Per-endpoint rollup: kind counts, cache hits, rows, bytes, and
+        total virtual busy time (the profile command's summary table)."""
+        summary: dict[str, dict] = {}
+        for record in self.records:
+            stats = summary.setdefault(
+                record.endpoint,
+                {"by_kind": Counter(), "cached": 0, "rows": 0, "bytes": 0, "busy_ms": 0.0},
+            )
+            if record.cached:
+                stats["cached"] += 1
+                continue
+            stats["by_kind"][record.kind] += 1
+            stats["rows"] += record.rows
+            stats["bytes"] += record.request_bytes + record.response_bytes
+            stats["busy_ms"] += record.duration_ms
+        return summary
+
+    # ------------------------------------------------------------- phases
 
     def add_phase(self, phase: str, duration_ms: float) -> None:
         self.phase_ms[phase] = self.phase_ms.get(phase, 0.0) + duration_ms
@@ -104,5 +147,7 @@ class QueryMetrics:
             self.add_phase(phase, duration)
 
 
-def total_requests(metrics_list: Iterable[QueryMetrics]) -> int:
-    return sum(metrics.request_count() for metrics in metrics_list)
+def total_requests(metrics_list: Iterable[QueryMetrics], include_cached: bool = False) -> int:
+    return sum(
+        metrics.request_count(include_cached=include_cached) for metrics in metrics_list
+    )

@@ -78,12 +78,24 @@ class VirtualNetwork:
     """Per-query network state: endpoint lanes plus metrics.
 
     A fresh instance is created for every federated query execution so
-    that lane congestion does not leak across queries.
+    that lane congestion does not leak across queries.  When given a
+    :class:`~repro.obs.registry.MetricsRegistry`, every request also
+    feeds the shared per-endpoint counters (labeled by engine and
+    request kind) — purely additive accounting that never affects
+    virtual time.
     """
 
-    def __init__(self, config: NetworkConfig, metrics: QueryMetrics):
+    def __init__(
+        self,
+        config: NetworkConfig,
+        metrics: QueryMetrics,
+        registry=None,
+        engine: str = "",
+    ):
         self.config = config
         self.metrics = metrics
+        self.registry = registry
+        self.engine = engine
         self._lane_free_ms: dict[str, float] = {}
         self._slot_free_ms: list[float] = [0.0] * max(1, config.mediator_slots)
 
@@ -118,6 +130,13 @@ class VirtualNetwork:
                     cached=True,
                 )
             )
+            if self.registry is not None:
+                self.registry.inc(
+                    "requests_cached_total",
+                    engine=self.engine,
+                    endpoint=endpoint_name,
+                    kind=kind,
+                )
             return ready_at_ms
 
         config = self.config
@@ -151,6 +170,13 @@ class VirtualNetwork:
                 response_bytes=response_bytes,
             )
         )
+        if self.registry is not None:
+            registry = self.registry
+            labels = {"engine": self.engine, "endpoint": endpoint_name, "kind": kind}
+            registry.inc("requests_total", **labels)
+            registry.inc("rows_shipped_total", result_rows, **labels)
+            registry.inc("bytes_shipped_total", request_bytes + response_bytes, **labels)
+            registry.observe("request_virtual_ms", duration, endpoint=endpoint_name, kind=kind)
         return end
 
     def lane_free_at(self, endpoint_name: str) -> float:

@@ -1,0 +1,41 @@
+"""Observability: span tracing, metrics registry, exporters.
+
+The instrumentation substrate of the reproduction (see
+``docs/observability.md``).  Three pieces:
+
+* :mod:`repro.obs.trace` — hierarchical virtual-time spans covering
+  every stage of the query lifecycle; disabled by default, free when off.
+* :mod:`repro.obs.registry` — labeled counters/histograms that the
+  simulator, client, scheduler, and every engine report into.
+* :mod:`repro.obs.export` — JSONL trace sink, JSON metrics snapshots,
+  and the human-readable renderings behind ``python -m repro profile``.
+"""
+
+from repro.obs.export import (
+    endpoint_summary_table,
+    load_trace_jsonl,
+    render_span_tree,
+    span_to_dict,
+    validate_trace,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from repro.obs.registry import HistogramStats, MetricsRegistry, get_default_registry
+from repro.obs.trace import NULL_SPAN, Span, Tracer, get_default_tracer
+
+__all__ = [
+    "HistogramStats",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "endpoint_summary_table",
+    "get_default_registry",
+    "get_default_tracer",
+    "load_trace_jsonl",
+    "render_span_tree",
+    "span_to_dict",
+    "validate_trace",
+    "write_metrics_json",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,172 @@
+"""Exporters for traces and metrics.
+
+Three consumers, three formats:
+
+* **JSONL traces** — one span per line (``id``, ``parent_id``, ``name``,
+  ``t0_ms``, ``t1_ms``, ``attrs``), depth-first so a parent always
+  precedes its children.  Machine-readable substrate for the benchmark
+  trajectory and for external tooling.
+* **JSON metrics snapshots** — a :class:`~repro.obs.registry.MetricsRegistry`
+  dump the harness can commit as ``BENCH_*.json``.
+* **Human-readable renderings** — the span tree with inclusive /
+  exclusive virtual time and the per-endpoint summary table that
+  ``python -m repro profile`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.obs.trace import Span
+
+#: Span attributes promoted into their own tree-view columns.
+_TREE_COLUMNS = ("requests", "rows")
+
+
+# ----------------------------------------------------------------- JSONL
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    return {
+        "id": span.id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "t0_ms": round(span.t0_ms, 6),
+        "t1_ms": round(span.t1_ms if span.t1_ms is not None else span.t0_ms, 6),
+        "attrs": _jsonable(span.attrs),
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce span attributes to JSON-safe values (sets, terms, etc.)."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_jsonable(item) for item in value]
+        return sorted(items, key=str) if isinstance(value, (set, frozenset)) else items
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_trace_jsonl(roots: Iterable[Span], path: str) -> int:
+    """Write every span under ``roots`` as JSON lines; returns span count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as stream:
+        for root in roots:
+            for span in root.walk():
+                stream.write(json.dumps(span_to_dict(span), sort_keys=True))
+                stream.write("\n")
+                count += 1
+    return count
+
+
+def load_trace_jsonl(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL trace back into span dicts (raises on malformed lines)."""
+    spans: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def validate_trace(spans: Sequence[dict[str, Any]]) -> list[str]:
+    """Structural checks on exported spans; returns problem descriptions.
+
+    A well-formed trace has unique ids, parents that exist and precede
+    their children, non-negative intervals, and children contained in
+    their parent's virtual interval (tolerating float rounding).
+    """
+    problems: list[str] = []
+    seen: dict[int, dict[str, Any]] = {}
+    for span in spans:
+        span_id = span.get("id")
+        if not isinstance(span_id, int):
+            problems.append(f"span without integer id: {span!r}")
+            continue
+        if span_id in seen:
+            problems.append(f"duplicate span id {span_id}")
+        parent_id = span.get("parent_id")
+        if parent_id is not None:
+            parent = seen.get(parent_id)
+            if parent is None:
+                problems.append(f"span {span_id} references unknown/later parent {parent_id}")
+            else:
+                if span["t0_ms"] < parent["t0_ms"] - 1e-6:
+                    problems.append(f"span {span_id} starts before parent {parent_id}")
+                if span["t1_ms"] > parent["t1_ms"] + 1e-6:
+                    problems.append(f"span {span_id} ends after parent {parent_id}")
+        if span["t1_ms"] < span["t0_ms"] - 1e-6:
+            problems.append(f"span {span_id} has negative duration")
+        seen[span_id] = span
+    if spans and not any(span.get("parent_id") is None for span in spans):
+        problems.append("trace has no root span")
+    return problems
+
+
+# ------------------------------------------------------------------ JSON
+
+def write_metrics_json(registry, path: str) -> None:
+    """Dump a metrics registry snapshot (see MetricsRegistry.snapshot)."""
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(registry.snapshot(), stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+# ------------------------------------------------------------ human view
+
+def _attr_text(attrs: dict[str, Any]) -> str:
+    parts = [
+        f"{key}={_jsonable(value)}"
+        for key, value in attrs.items()
+        if key not in _TREE_COLUMNS
+    ]
+    return " ".join(parts)
+
+
+def render_span_tree(root: Span) -> str:
+    """ASCII tree: inclusive/exclusive virtual ms, requests, rows, attrs."""
+    lines = [
+        f"{'span':<44} {'incl_ms':>10} {'excl_ms':>10} {'reqs':>6} {'rows':>8}  attrs"
+    ]
+
+    def visit(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        label = f"{prefix}{connector}{span.name}"
+        requests = span.attrs.get("requests", "")
+        rows = span.attrs.get("rows", "")
+        lines.append(
+            f"{label:<44} {span.inclusive_ms:>10.2f} {span.exclusive_ms:>10.2f} "
+            f"{requests!s:>6} {rows!s:>8}  {_attr_text(span.attrs)}".rstrip()
+        )
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        for index, child in enumerate(span.children):
+            visit(child, child_prefix, index == len(span.children) - 1, False)
+
+    visit(root, "", True, True)
+    return "\n".join(lines)
+
+
+def endpoint_summary_table(metrics) -> str:
+    """Per-endpoint request/row/byte/busy-time table for one query."""
+    from repro.harness.reporting import format_table  # local: avoids import cycle
+    from repro.net.metrics import REQUEST_KINDS
+
+    summary = metrics.endpoint_summary()
+    headers = ["endpoint", *REQUEST_KINDS, "cached", "rows", "bytes", "busy_ms"]
+    rows = []
+    for endpoint in sorted(summary):
+        stats = summary[endpoint]
+        rows.append(
+            [
+                endpoint,
+                *[stats["by_kind"].get(kind, 0) for kind in REQUEST_KINDS],
+                stats["cached"],
+                stats["rows"],
+                stats["bytes"],
+                f"{stats['busy_ms']:.2f}",
+            ]
+        )
+    return format_table(headers, rows)

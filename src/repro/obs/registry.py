@@ -1,0 +1,147 @@
+"""Labeled counters and histograms for the federation layer.
+
+A :class:`MetricsRegistry` is the shared sink every component reports
+into: the virtual network (per-endpoint request/row/byte counters and
+request-duration histograms, labeled by engine and request kind), the
+scheduler (bound-join blocks, mediator join rows), and the engines
+themselves (queries by status, delayed subqueries).  It supersedes the
+ad-hoc per-component counters: aggregate anything by filtering on
+labels instead of threading counts through return values.
+
+Metric series are keyed by ``(name, sorted labels)``.  Counters are
+monotonic floats; histograms keep count/sum/min/max — enough for the
+benchmark harness without a bucketing scheme.  The registry is plain
+dictionaries: cheap enough to leave always on (it never touches virtual
+time), trivially serializable via :meth:`snapshot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+@dataclass
+class HistogramStats:
+    """Summary statistics of one histogram series."""
+
+    count: int = 0
+    sum: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Labeled counter / histogram store with snapshot export."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], float] = {}
+        self._histograms: dict[tuple[str, LabelKey], HistogramStats] = {}
+
+    # ------------------------------------------------------------ recording
+
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        key = (name, _label_key(labels))
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = (name, _label_key(labels))
+        stats = self._histograms.get(key)
+        if stats is None:
+            stats = self._histograms[key] = HistogramStats()
+        stats.observe(value)
+
+    # -------------------------------------------------------------- queries
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Sum of all series of ``name`` whose labels include ``labels``."""
+        wanted = set(_label_key(labels))
+        return sum(
+            value
+            for (metric, key), value in self._counters.items()
+            if metric == name and wanted <= set(key)
+        )
+
+    def counter_series(self, name: str) -> dict[LabelKey, float]:
+        """Every label combination recorded for one counter."""
+        return {
+            key: value for (metric, key), value in self._counters.items() if metric == name
+        }
+
+    def label_values(self, name: str, label: str) -> set[str]:
+        """Distinct values one label takes across a counter's series."""
+        values: set[str] = set()
+        for (metric, key), __ in self._counters.items():
+            if metric != name:
+                continue
+            for label_name, label_value in key:
+                if label_name == label:
+                    values.add(label_value)
+        return values
+
+    def histogram(self, name: str, **labels: Any) -> HistogramStats:
+        """Merged histogram stats across matching series."""
+        wanted = set(_label_key(labels))
+        merged = HistogramStats()
+        for (metric, key), stats in self._histograms.items():
+            if metric != name or not wanted <= set(key):
+                continue
+            merged.count += stats.count
+            merged.sum += stats.sum
+            merged.min = min(merged.min, stats.min)
+            merged.max = max(merged.max, stats.max)
+        return merged
+
+    def __iter__(self) -> Iterator[tuple[str, LabelKey, float]]:
+        for (name, key), value in sorted(self._counters.items()):
+            yield name, key, value
+
+    # --------------------------------------------------------------- export
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view of every series, sorted for stable diffs."""
+        counters = [
+            {"name": name, "labels": dict(key), "value": value}
+            for (name, key), value in sorted(self._counters.items())
+        ]
+        histograms = [
+            {
+                "name": name,
+                "labels": dict(key),
+                "count": stats.count,
+                "sum": stats.sum,
+                "min": stats.min if stats.count else None,
+                "max": stats.max if stats.count else None,
+            }
+            for (name, key), stats in sorted(self._histograms.items())
+        ]
+        return {"counters": counters, "histograms": histograms}
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+
+#: Process-wide registry engines default to; per-run tooling (the
+#: ``profile`` command, tests) passes its own for isolation.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_default_registry() -> MetricsRegistry:
+    return _DEFAULT_REGISTRY

@@ -25,6 +25,8 @@ from repro.exceptions import (
 )
 from repro.net.metrics import QueryMetrics
 from repro.net.simulator import NetworkConfig, local_cluster_config
+from repro.obs.registry import MetricsRegistry, get_default_registry
+from repro.obs.trace import Tracer, get_default_tracer
 from repro.planning.normalize import NormalizedQuery, normalize
 from repro.rdf.terms import Variable
 from repro.relational.relation import Relation
@@ -78,12 +80,19 @@ class FederatedEngine:
         network_config: NetworkConfig | None = None,
         caches: EngineCaches | None = None,
         timeout_ms: float | None = DEFAULT_TIMEOUT_MS,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.federation = federation
         self.network_config = network_config or local_cluster_config()
         self.caches = caches if caches is not None else EngineCaches()
         self.timeout_ms = timeout_ms
         self.stats = EngineStats()
+        #: Observability sinks.  Default to the process-wide tracer
+        #: (disabled unless a profiling run enables it) and registry;
+        #: assignable after construction for per-run isolation.
+        self.tracer = tracer if tracer is not None else get_default_tracer()
+        self.registry = registry if registry is not None else get_default_registry()
 
     # ------------------------------------------------------------- public
 
@@ -102,36 +111,47 @@ class FederatedEngine:
             caches=self.caches,
             timeout_ms=self.timeout_ms,
             metrics=metrics,
+            tracer=self.tracer,
+            registry=self.registry,
+            engine=self.name,
         )
         wall_start = time.perf_counter()
-        try:
-            normalized = normalize(query)
-            relation, end_ms = self._execute_normalized(client, normalized)
-            result = self._finalize(relation, normalized)
-            metrics.virtual_ms = end_ms
-            metrics.result_rows = len(result)
-            outcome = ExecutionOutcome(result=result, metrics=metrics)
-        except QueryTimeoutError as exc:
-            metrics.virtual_ms = exc.elapsed_ms
-            outcome = ExecutionOutcome(
-                result=SelectResult((), []), metrics=metrics, status="timeout", error=str(exc)
-            )
-        except MemoryLimitError as exc:
-            outcome = ExecutionOutcome(
-                result=SelectResult((), []), metrics=metrics, status="oom", error=str(exc)
-            )
-        except UnsupportedQueryError as exc:
-            outcome = ExecutionOutcome(
-                result=SelectResult((), []),
-                metrics=metrics,
-                status="unsupported",
-                error=str(exc),
-            )
-        except (FederationError, NetworkError) as exc:
-            outcome = ExecutionOutcome(
-                result=SelectResult((), []), metrics=metrics, status="error", error=str(exc)
-            )
+        with self.tracer.span("query", t0=0.0, engine=self.name) as root:
+            try:
+                normalized = normalize(query)
+                relation, end_ms = self._execute_normalized(client, normalized)
+                result = self._finalize(relation, normalized)
+                metrics.virtual_ms = end_ms
+                metrics.result_rows = len(result)
+                outcome = ExecutionOutcome(result=result, metrics=metrics)
+            except QueryTimeoutError as exc:
+                metrics.virtual_ms = exc.elapsed_ms
+                outcome = ExecutionOutcome(
+                    result=SelectResult((), []), metrics=metrics, status="timeout", error=str(exc)
+                )
+            except MemoryLimitError as exc:
+                outcome = ExecutionOutcome(
+                    result=SelectResult((), []), metrics=metrics, status="oom", error=str(exc)
+                )
+            except UnsupportedQueryError as exc:
+                outcome = ExecutionOutcome(
+                    result=SelectResult((), []),
+                    metrics=metrics,
+                    status="unsupported",
+                    error=str(exc),
+                )
+            except (FederationError, NetworkError) as exc:
+                outcome = ExecutionOutcome(
+                    result=SelectResult((), []), metrics=metrics, status="error", error=str(exc)
+                )
+            root.set(
+                status=outcome.status,
+                result_rows=len(outcome.result),
+                requests=metrics.request_count(),
+                rows=metrics.rows_shipped(),
+            ).end(metrics.virtual_ms)
         metrics.wall_ms = (time.perf_counter() - wall_start) * 1000.0
+        self.registry.inc("queries_total", engine=self.name, status=outcome.status)
         self.stats.queries_executed += 1
         if raise_on_failure and not outcome.ok:
             raise FederationError(f"{self.name} failed ({outcome.status}): {outcome.error}")

@@ -132,6 +132,66 @@ class TestQueryMetrics:
         assert a.virtual_ms == 15.0
         assert a.request_count() == 6
 
+    def test_merge_empty_metrics_is_identity(self):
+        a = self.make_metrics()
+        a.virtual_ms = 10.0
+        a.add_phase("execution", 4.0)
+        before = (a.request_count(), a.rows_shipped(), a.bytes_shipped())
+        a.merge(QueryMetrics())
+        assert (a.request_count(), a.rows_shipped(), a.bytes_shipped()) == before
+        assert a.virtual_ms == 10.0
+        assert a.phase_ms["execution"] == pytest.approx(4.0)
+        empty = QueryMetrics()
+        empty.merge(self.make_metrics())
+        assert empty.request_count() == 3
+
+    def test_cached_excluded_from_rows_and_bytes(self):
+        metrics = QueryMetrics()
+        metrics.record(RequestRecord(SELECT, "a", 0, 1, 50, 10, 600))
+        metrics.record(RequestRecord(SELECT, "a", 1, 1, 70, 20, 800, cached=True))
+        assert metrics.rows_shipped() == 50
+        assert metrics.rows_shipped(include_cached=True) == 120
+        assert metrics.bytes_shipped() == 610
+        assert metrics.bytes_shipped(include_cached=True) == 610 + 820
+        assert metrics.requests_by_kind()[SELECT] == 1
+        assert metrics.requests_by_kind(include_cached=True)[SELECT] == 2
+
+    def test_phase_accumulation_across_merge(self):
+        a, b = QueryMetrics(), QueryMetrics()
+        a.add_phase("source_selection", 2.0)
+        a.add_phase("execution", 5.0)
+        b.add_phase("execution", 3.0)
+        b.add_phase("analysis", 1.0)
+        a.merge(b)
+        assert a.phase_ms["execution"] == pytest.approx(8.0)
+        assert a.phase_ms["source_selection"] == pytest.approx(2.0)
+        assert a.phase_ms["analysis"] == pytest.approx(1.0)
+
+    def test_mark_and_since_helpers(self):
+        metrics = self.make_metrics()
+        mark = metrics.mark()
+        assert metrics.requests_since(mark) == 0
+        metrics.record(RequestRecord(SELECT, "c", 5, 6, 7, 10, 10))
+        metrics.record(RequestRecord(ASK, "c", 6, 6, 0, 5, 5, cached=True))
+        assert metrics.requests_since(mark) == 1
+        assert metrics.requests_since(mark, include_cached=True) == 2
+        assert metrics.rows_since(mark) == 7
+
+    def test_endpoint_summary(self):
+        metrics = self.make_metrics()
+        summary = metrics.endpoint_summary()
+        assert summary["a"]["by_kind"][ASK] == 1
+        assert summary["a"]["rows"] == 101
+        assert summary["b"]["cached"] == 1
+        assert summary["b"]["by_kind"][BOUND] == 1
+
+    def test_total_requests_include_cached(self):
+        from repro.net.metrics import total_requests
+
+        pair = [self.make_metrics(), self.make_metrics()]
+        assert total_requests(pair) == 6
+        assert total_requests(pair, include_cached=True) == 8
+
 
 class TestMediatorCostModel:
     def test_join_cost_divides_by_threads(self):
