@@ -1,0 +1,259 @@
+"""Micro-benchmarks for the dictionary-encoded data plane.
+
+Measures the encoded hot loops against the preserved term-space
+reference implementation (:mod:`repro.sparql.reference`) *in the same
+process and run*, so the recorded speedups compare identical data and
+identical algorithms, differing only in representation:
+
+* ``bgp_join``        — multi-pattern BGP matching (LUBM Q9 shape) on
+                        one endpoint store: id-space index walk vs
+                        term-keyed indexes with ``Triple`` allocation;
+* ``mediator_join``   — mediator hash join of two subquery relations:
+                        int keys vs term-tuple keys;
+* ``values_subquery`` — a VALUES-bound subquery (SAPE's delayed-
+                        subquery shape): encoded evaluator vs reference
+                        extension from seeded term solutions.
+
+Emits ``BENCH_micro.json``.  Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_microperf.py
+    PYTHONPATH=src python benchmarks/bench_microperf.py --smoke --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from collections import Counter
+
+from repro.datasets import lubm
+from repro.rdf.terms import Variable
+from repro.rdf.triple import TriplePattern
+from repro.relational.relation import Relation
+from repro.sparql.ast import BGP, SelectQuery
+from repro.sparql.evaluator import _Evaluator, evaluate_select
+from repro.sparql.parser import parse_query
+from repro.sparql.reference import (
+    ReferenceStore,
+    reference_bgp,
+    reference_extend,
+    reference_hash_join,
+)
+from repro.store.triple_store import TripleStore
+
+
+def _patterns(query: SelectQuery) -> list[TriplePattern]:
+    return [
+        pattern
+        for element in query.where.elements
+        if isinstance(element, BGP)
+        for pattern in element.triples
+    ]
+
+
+def _time(fn, iterations: int) -> float:
+    """Best-of-N wall-clock seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(iterations):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _solution_bag(solutions):
+    return Counter(tuple(sorted(s.items(), key=lambda kv: kv[0].name)) for s in solutions)
+
+
+def build_stores(universities: int, seed: int):
+    """One merged store per representation, holding identical triples."""
+    triples = []
+    for index in range(universities):
+        triples.extend(lubm.generate_university(index, universities, seed=seed))
+    encoded = TripleStore(name="bench")
+    encoded.add_all(triples)
+    reference = ReferenceStore()
+    reference.add_all(triples)
+    return encoded, reference
+
+
+def bench_bgp_join(encoded: TripleStore, reference: ReferenceStore, iterations: int) -> dict:
+    query = parse_query(lubm.query_q2())
+    patterns = _patterns(query)
+
+    def run_reference():
+        return reference_bgp(reference, patterns)
+
+    evaluator = _Evaluator(encoded)
+
+    def run_encoded():
+        # Same written pattern order as the reference loop, so only the
+        # representation differs.
+        schema, rows = [], [()]
+        for pattern in patterns:
+            schema, rows = evaluator._extend_rows(pattern, schema, rows)
+        return schema, rows
+
+    ref_solutions = run_reference()
+    schema, rows = run_encoded()
+    decode = encoded.dictionary.decode
+    enc_solutions = [
+        {var: decode(i) for var, i in zip(schema, row) if i is not None} for row in rows
+    ]
+    assert _solution_bag(ref_solutions) == _solution_bag(enc_solutions), "bgp results diverge"
+
+    before = _time(run_reference, iterations)
+    after = _time(run_encoded, iterations)
+    return {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after if after else float("inf"),
+        "solutions": len(ref_solutions),
+    }
+
+
+def bench_mediator_join(encoded: TripleStore, iterations: int) -> dict:
+    # Two realistic subquery results over the shared ?x: students with
+    # their advisors, and students with their courses — the mediator
+    # joins these after decomposition ships them back.
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    ub = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+    left_result = evaluate_select(
+        encoded,
+        parse_query(f"SELECT ?x ?y WHERE {{ ?x <{ub}advisor> ?y . }}"),
+    )
+    right_result = evaluate_select(
+        encoded,
+        parse_query(f"SELECT ?x ?z WHERE {{ ?x <{ub}takesCourse> ?z . }}"),
+    )
+    left_rows = list(left_result.rows)
+    right_rows = list(right_result.rows)
+
+    def run_reference():
+        return reference_hash_join((x, y), left_rows, (x, z), right_rows)
+
+    left_rel = Relation((x, y), left_rows)
+    right_rel = Relation((x, z), right_rows)
+
+    def run_encoded():
+        return left_rel.join(right_rel)
+
+    _, ref_rows = run_reference()
+    enc_rows = list(run_encoded().rows)
+    assert Counter(ref_rows) == Counter(enc_rows), "join results diverge"
+
+    before = _time(run_reference, iterations)
+    after = _time(run_encoded, iterations)
+    return {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after if after else float("inf"),
+        "left_rows": len(left_rows),
+        "right_rows": len(right_rows),
+        "joined_rows": len(ref_rows),
+    }
+
+
+def bench_values_subquery(
+    encoded: TripleStore, reference: ReferenceStore, iterations: int
+) -> dict:
+    # SAPE's delayed-subquery shape: a VALUES block of found ?x bindings
+    # bounds the advisor/course patterns.
+    ub = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    students = evaluate_select(
+        encoded,
+        parse_query(f"SELECT ?x WHERE {{ ?x <{ub}advisor> ?y . }}"),
+    )
+    bindings = sorted({row[0] for row in students.rows}, key=lambda t: t.value)[:200]
+    values_block = "\n".join(f"(<{term.value}>)" for term in bindings)
+    query = parse_query(
+        f"""SELECT ?x ?y ?z WHERE {{
+  VALUES (?x) {{ {values_block} }}
+  ?x <{ub}advisor> ?y .
+  ?y <{ub}teacherOf> ?z .
+  ?x <{ub}takesCourse> ?z .
+}}"""
+    )
+    patterns = _patterns(query)
+
+    def run_reference():
+        solutions = [{x: term} for term in bindings]
+        for pattern in patterns:
+            solutions = reference_extend(reference, pattern, solutions)
+        return solutions
+
+    def run_encoded():
+        return evaluate_select(encoded, query)
+
+    ref_solutions = run_reference()
+    ref_bag = Counter(
+        tuple(s.get(var) for var in (x, y, z)) for s in ref_solutions
+    )
+    enc_bag = Counter(run_encoded().rows)
+    assert ref_bag == enc_bag, "values-subquery results diverge"
+
+    before = _time(run_reference, iterations)
+    after = _time(run_encoded, iterations)
+    return {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after if after else float("inf"),
+        "values_rows": len(bindings),
+        "solutions": len(ref_solutions),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--universities", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_micro.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scale, one iteration; checks plumbing, not performance",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.universities = 1
+        args.iterations = 1
+
+    encoded, reference = build_stores(args.universities, args.seed)
+    print(f"stores built: {len(encoded)} triples, {len(encoded.dictionary)} dictionary terms")
+
+    benches = {}
+    benches["bgp_join"] = bench_bgp_join(encoded, reference, args.iterations)
+    print(f"bgp_join: {benches['bgp_join']['speedup']:.2f}x")
+    benches["mediator_join"] = bench_mediator_join(encoded, args.iterations)
+    print(f"mediator_join: {benches['mediator_join']['speedup']:.2f}x")
+    benches["values_subquery"] = bench_values_subquery(encoded, reference, args.iterations)
+    print(f"values_subquery: {benches['values_subquery']['speedup']:.2f}x")
+
+    report = {
+        "meta": {
+            "universities": args.universities,
+            "iterations": args.iterations,
+            "seed": args.seed,
+            "triples": len(encoded),
+            "dictionary_terms": len(encoded.dictionary),
+            "python": platform.python_version(),
+            "smoke": args.smoke,
+        },
+        "benches": benches,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

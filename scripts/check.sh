@@ -6,7 +6,10 @@
 # 1. runs the full pytest suite (the repo's tier-1 gate, see ROADMAP.md);
 # 2. runs a LUBM query with tracing enabled and asserts the exported
 #    JSONL trace parses and its span tree is well-formed
-#    (scripts/trace_smoke.py).
+#    (scripts/trace_smoke.py);
+# 3. smoke-runs the data-plane micro-benchmark at tiny scale and asserts
+#    BENCH_micro.json is produced and well-formed, plus a dictionary
+#    round-trip check (scripts/microbench_smoke.py).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,5 +21,8 @@ python -m pytest -x -q
 
 echo "== trace round-trip smoke =="
 python scripts/trace_smoke.py
+
+echo "== microbench + dictionary smoke =="
+python scripts/microbench_smoke.py
 
 echo "check.sh: all green"

@@ -1,0 +1,71 @@
+"""Smoke checks for the encoded data plane, run by scripts/check.sh.
+
+1. Dictionary round-trip: every term in a generated LUBM endpoint
+   encodes to a unique dense id and decodes back to an equal term.
+2. Micro-benchmark plumbing: ``benchmarks/bench_microperf.py --smoke``
+   runs at tiny scale and emits a well-formed BENCH_micro.json (each
+   bench internally asserts encoded results equal the term-space
+   reference results, so this also cross-checks correctness).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def check_dictionary_round_trip() -> None:
+    from repro.datasets import lubm
+    from repro.store import TripleStore
+
+    store = TripleStore()
+    store.add_all(lubm.generate_university(0, 1))
+    dictionary = store.dictionary
+    assert len(dictionary) > 0, "dictionary is empty after load"
+    seen_ids = set()
+    for term in dictionary:
+        term_id = dictionary.lookup(term)
+        assert term_id is not None, f"interned term has no id: {term!r}"
+        assert term_id not in seen_ids, f"duplicate id {term_id}"
+        seen_ids.add(term_id)
+        assert dictionary.decode(term_id) == term, f"round-trip failed: {term!r}"
+    assert seen_ids == set(range(len(dictionary))), "ids are not dense"
+    print(f"dictionary round-trip ok ({len(dictionary)} terms)")
+
+
+def check_microbench_smoke() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "BENCH_micro.json"
+        subprocess.run(
+            [sys.executable, "benchmarks/bench_microperf.py", "--smoke", "--out", str(out)],
+            cwd=REPO,
+            check=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        report = json.loads(out.read_text())
+    assert set(report) == {"meta", "benches"}, f"unexpected keys: {set(report)}"
+    expected = {"bgp_join", "mediator_join", "values_subquery"}
+    assert set(report["benches"]) == expected, f"missing benches: {report['benches']}"
+    for name, bench in report["benches"].items():
+        for field in ("before_s", "after_s", "speedup"):
+            value = bench.get(field)
+            assert isinstance(value, (int, float)) and value > 0, (
+                f"{name}.{field} malformed: {value!r}"
+            )
+    print("microbench smoke ok (BENCH_micro.json well-formed)")
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    check_dictionary_round_trip()
+    check_microbench_smoke()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,10 @@ and cardinality estimation for join planning.
 
 Building the index scans each endpoint's data — the preprocessing cost
 the paper contrasts with the index-free engines ("SPLENDID needs 25 and
-3,513 seconds to pre-process QFed and LargeRDFBench").
+3,513 seconds to pre-process QFed and LargeRDFBench").  The per-predicate
+distinct subject/object counts read here are O(1) lookups: the encoded
+:class:`~repro.store.TripleStore` maintains them incrementally on
+add/remove rather than scanning its indexes.
 """
 
 from __future__ import annotations

@@ -65,6 +65,9 @@ def count_query(pattern: TriplePattern, filters: tuple[Expression, ...] = ()) ->
 class CardinalityEstimates:
     """Per-pattern, per-endpoint counts plus derived subquery estimates."""
 
+    # Keyed directly on TriplePattern: patterns (and their terms) cache
+    # their hash at construction, so repeated probe lookups cost a dict
+    # probe, not a recursive re-hash of the pattern's terms.
     pattern_counts: dict[tuple[TriplePattern, str], int] = field(default_factory=dict)
 
     def pattern_count(self, pattern: TriplePattern, endpoint: str) -> int:

@@ -12,6 +12,12 @@ All methods take and return virtual timestamps explicitly: sequential
 code chains them, parallel fan-out feeds the same ``at`` to many calls
 and takes the max of the completions.  A fresh client is built per query
 execution; caches persist across clients via :class:`EngineCaches`.
+
+The client sits outside the dictionary-encoded boundary: requests carry
+term-level queries and responses carry term rows (the "wire format"),
+never endpoint-local integer ids.  Encoding is an implementation detail
+of each endpoint's store; the mediator's relational layer re-encodes
+received rows into its own shared codec.
 """
 
 from __future__ import annotations

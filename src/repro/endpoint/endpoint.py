@@ -5,6 +5,15 @@ evaluator and a region tag.  It is the stand-in for the Jena Fuseki /
 Virtuoso instances the paper deployed: federation engines only talk to it
 through :class:`~repro.endpoint.client.FederationClient`, which adds the
 virtual network costs.
+
+The endpoint is also the **encode/decode boundary** of the dictionary-
+encoded data plane: internally the store and evaluator work on this
+endpoint's private integer term ids (see :attr:`Endpoint.dictionary`),
+but every :class:`~repro.sparql.evaluator.SelectResult` leaving
+``select()`` carries decoded term rows.  Ids from different endpoints
+are incomparable and never cross this boundary — the mediator re-encodes
+rows into its own shared codec on ingest
+(:func:`repro.relational.relation.mediator_codec`).
 """
 
 from __future__ import annotations
@@ -47,6 +56,16 @@ class Endpoint:
 
     def __len__(self) -> int:
         return len(self.store)
+
+    @property
+    def dictionary(self):
+        """This endpoint's private term dictionary.
+
+        Ids are endpoint-local: the same IRI generally has different ids
+        at different endpoints, which is why results are decoded to terms
+        before they leave ``select()``.
+        """
+        return self.store.dictionary
 
     # ------------------------------------------------------------- queries
 

@@ -23,6 +23,8 @@ from repro.rdf.triple import TriplePattern
 class SourceSelection:
     """Which endpoints are relevant to each triple pattern."""
 
+    # TriplePattern hashes are cached at construction, so the per-pattern
+    # lookups engines issue during planning are cheap dict probes.
     sources: dict[TriplePattern, tuple[str, ...]] = field(default_factory=dict)
 
     def relevant(self, pattern: TriplePattern) -> tuple[str, ...]:

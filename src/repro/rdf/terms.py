@@ -7,6 +7,10 @@ endpoints.
 
 The design favours plain ``__slots__`` classes over dataclasses so that
 tight loops in the store and evaluator pay minimal attribute overhead.
+Hashes are computed once at construction and cached in a ``_hash`` slot:
+terms are dictionary keys everywhere (store indexes, solution mappings,
+probe caches), and re-hashing a ``(class, str)`` tuple per lookup used to
+dominate those paths.
 """
 
 from __future__ import annotations
@@ -43,18 +47,19 @@ class Term:
 class IRI(Term):
     """An IRI reference, e.g. ``<http://example.org/u0/prof1>``."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: str):
         if not value:
             raise TermError("IRI value must be a non-empty string")
         self.value = value
+        self._hash = hash((IRI, value))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, IRI) and self.value == other.value
 
     def __hash__(self) -> int:
-        return hash((IRI, self.value))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"IRI({self.value!r})"
@@ -96,7 +101,7 @@ class IRI(Term):
 class Literal(Term):
     """An RDF literal with optional datatype or language tag."""
 
-    __slots__ = ("value", "datatype", "language")
+    __slots__ = ("value", "datatype", "language", "_hash")
 
     def __init__(self, value: str, datatype: str | None = None, language: str | None = None):
         if datatype is not None and language is not None:
@@ -104,6 +109,7 @@ class Literal(Term):
         self.value = str(value)
         self.datatype = datatype
         self.language = language
+        self._hash = hash((Literal, self.value, datatype, language))
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -114,7 +120,7 @@ class Literal(Term):
         )
 
     def __hash__(self) -> int:
-        return hash((Literal, self.value, self.datatype, self.language))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Literal({self.value!r}, datatype={self.datatype!r}, language={self.language!r})"
@@ -175,18 +181,19 @@ class Literal(Term):
 class BNode(Term):
     """A blank node with a store-local label."""
 
-    __slots__ = ("label",)
+    __slots__ = ("label", "_hash")
 
     def __init__(self, label: str):
         if not label:
             raise TermError("blank node label must be non-empty")
         self.label = label
+        self._hash = hash((BNode, label))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, BNode) and self.label == other.label
 
     def __hash__(self) -> int:
-        return hash((BNode, self.label))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"BNode({self.label!r})"
@@ -204,20 +211,34 @@ class Variable:
     Variables are *not* :class:`Term` subclasses: they can appear in triple
     patterns but never in data, and several code paths rely on
     ``isinstance(x, Term)`` meaning "concrete value".
+
+    Instances are interned by name: ``Variable("x") is Variable("x")``.
+    Solution dictionaries throughout the evaluator and mediator are keyed
+    on variables, and interning lets every dict lookup hit CPython's
+    pointer-identity fast path instead of calling ``__eq__``.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
-    def __init__(self, name: str):
+    _interned: dict[str, "Variable"] = {}
+
+    def __new__(cls, name: str):
+        interned = cls._interned.get(name)
+        if interned is not None:
+            return interned
         if not name or name.startswith(("?", "$")):
             raise TermError(f"variable name must be bare (no ?/$ prefix): {name!r}")
+        self = super().__new__(cls)
         self.name = name
+        self._hash = hash((Variable, name))
+        cls._interned[name] = self
+        return self
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Variable) and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash((Variable, self.name))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"

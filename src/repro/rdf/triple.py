@@ -16,7 +16,7 @@ from repro.rdf.terms import PatternTerm, Term, Variable, is_concrete
 class Triple:
     """A concrete RDF triple (subject, predicate, object)."""
 
-    __slots__ = ("subject", "predicate", "object")
+    __slots__ = ("subject", "predicate", "object", "_hash")
 
     def __init__(self, subject: Term, predicate: Term, object: Term):
         if not (is_concrete(subject) and is_concrete(predicate) and is_concrete(object)):
@@ -24,6 +24,7 @@ class Triple:
         self.subject = subject
         self.predicate = predicate
         self.object = object
+        self._hash = hash((subject, predicate, object))
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -34,7 +35,7 @@ class Triple:
         )
 
     def __hash__(self) -> int:
-        return hash((self.subject, self.predicate, self.object))
+        return self._hash
 
     def __iter__(self) -> Iterator[Term]:
         yield self.subject
@@ -55,12 +56,13 @@ class TriplePattern:
     (GJV evidence, subqueries, visited sets) can key on them directly.
     """
 
-    __slots__ = ("subject", "predicate", "object")
+    __slots__ = ("subject", "predicate", "object", "_hash")
 
     def __init__(self, subject: PatternTerm, predicate: PatternTerm, object: PatternTerm):
         self.subject = subject
         self.predicate = predicate
         self.object = object
+        self._hash = hash((TriplePattern, subject, predicate, object))
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -71,7 +73,7 @@ class TriplePattern:
         )
 
     def __hash__(self) -> int:
-        return hash((TriplePattern, self.subject, self.predicate, self.object))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"TriplePattern({self.subject!r}, {self.predicate!r}, {self.object!r})"

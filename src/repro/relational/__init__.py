@@ -1,6 +1,6 @@
 """Mediator-side relational algebra over solution sets."""
 
 from repro.relational.filters import make_filter_predicate
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, RowStore, mediator_codec
 
-__all__ = ["Relation", "make_filter_predicate"]
+__all__ = ["Relation", "RowStore", "make_filter_predicate", "mediator_codec"]

@@ -1,4 +1,4 @@
-"""Mediator-side relations over SPARQL solution sets.
+"""Mediator-side relations over SPARQL solution sets, dictionary-encoded.
 
 Each subquery result the mediator receives becomes a :class:`Relation`:
 a variable schema plus rows of terms, annotated with how many worker
@@ -6,6 +6,16 @@ threads (partitions) hold it — the quantity the paper's join cost model
 divides by.  Joins use in-memory hash joins on the shared variables, with
 SPARQL compatibility semantics (an unbound variable is compatible with
 anything), exactly what the paper's join evaluation stage does.
+
+Rows are **id-backed**: every relation encodes its rows through one
+process-wide :class:`~repro.store.dictionary.TermDictionary` (the
+*mediator codec*, shared across all relations so results from different
+endpoints stay comparable).  Hash joins, DISTINCT, projections and
+``column_values`` therefore compare dense ints instead of term objects.
+The :class:`RowStore` wrapper keeps the external contract unchanged:
+iterating, indexing or comparing ``relation.rows`` yields plain term
+tuples, and ``extend``/``append`` accept them — encode on the way in,
+decode on the way out.
 """
 
 from __future__ import annotations
@@ -14,8 +24,79 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.rdf.terms import Term, Variable
 from repro.sparql.evaluator import SelectResult
+from repro.store.dictionary import TermDictionary
 
-Row = tuple  # tuple[Term | None, ...]
+Row = tuple  # tuple[Term | None, ...] externally; tuple[int | None, ...] encoded
+
+#: The mediator-wide shared codec.  One dictionary for every relation in
+#: the process: ids assigned for a term at one endpoint's results equal
+#: the ids for the same term arriving from any other endpoint, which is
+#: what makes cross-endpoint hash joins pure int comparisons.
+_MEDIATOR_CODEC = TermDictionary()
+
+
+def mediator_codec() -> TermDictionary:
+    """The shared term codec backing every :class:`Relation`."""
+    return _MEDIATOR_CODEC
+
+
+class RowStore:
+    """List-like row container holding encoded (int id) rows.
+
+    External access decodes: iteration, indexing, slicing and equality
+    all speak term tuples, so engine code and tests that treat
+    ``relation.rows`` as a list of term rows keep working.  The encoded
+    rows (``ids``) are what the relational operators consume.
+    """
+
+    __slots__ = ("codec", "ids")
+
+    def __init__(self, codec: TermDictionary | None = None, ids: list[Row] | None = None):
+        self.codec = codec if codec is not None else _MEDIATOR_CODEC
+        self.ids: list[Row] = ids if ids is not None else []
+
+    # ------------------------------------------------------------- encode
+
+    def append(self, row: Sequence[Term | None]) -> None:
+        self.ids.append(self.codec.encode_row(row))
+
+    def extend(self, rows: Iterable[Sequence[Term | None]]) -> None:
+        if isinstance(rows, RowStore) and rows.codec is self.codec:
+            self.ids.extend(rows.ids)
+            return
+        encode_row = self.codec.encode_row
+        self.ids.extend(encode_row(row) for row in rows)
+
+    # ------------------------------------------------------------- decode
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self) -> Iterator[Row]:
+        decode_row = self.codec.decode_row
+        for row in self.ids:
+            yield decode_row(row)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            decode_row = self.codec.decode_row
+            return [decode_row(row) for row in self.ids[index]]
+        return self.codec.decode_row(self.ids[index])
+
+    def __contains__(self, row: Row) -> bool:
+        return any(decoded == tuple(row) for decoded in self)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RowStore):
+            if other.codec is self.codec:
+                return self.ids == other.ids
+            return list(self) == list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == [tuple(row) for row in other]
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"RowStore(rows={len(self.ids)})"
 
 
 class Relation:
@@ -25,8 +106,21 @@ class Relation:
 
     def __init__(self, vars: Sequence[Variable], rows: Iterable[Row] = (), partitions: int = 1):
         self.vars = tuple(vars)
-        self.rows = list(rows)
+        if isinstance(rows, RowStore):
+            self.rows = RowStore(rows.codec, list(rows.ids))
+        else:
+            self.rows = RowStore()
+            self.rows.extend(rows)
         self.partitions = max(1, partitions)
+
+    @classmethod
+    def _from_ids(
+        cls, vars: Sequence[Variable], id_rows: list[Row], partitions: int = 1
+    ) -> "Relation":
+        """Internal fast path: adopt already-encoded rows."""
+        relation = cls(vars, (), partitions)
+        relation.rows.ids = id_rows
+        return relation
 
     # ------------------------------------------------------------- basics
 
@@ -46,10 +140,10 @@ class Relation:
     @classmethod
     def unit(cls) -> "Relation":
         """The join identity: one empty row over no variables."""
-        return cls((), [()])
+        return cls._from_ids((), [()])
 
     def to_result(self) -> SelectResult:
-        return SelectResult(self.vars, self.rows)
+        return SelectResult(self.vars, list(self.rows))
 
     def bindings(self) -> Iterator[dict[Variable, Term]]:
         for row in self.rows:
@@ -60,9 +154,12 @@ class Relation:
         return tuple(var for var in self.vars if var in other_set)
 
     def column_values(self, variable: Variable) -> set[Term]:
-        """Distinct bound values of one variable."""
+        """Distinct bound values of one variable (deduplicated on ids)."""
         index = self.vars.index(variable)
-        return {row[index] for row in self.rows if row[index] is not None}
+        distinct_ids = {row[index] for row in self.rows.ids}
+        distinct_ids.discard(None)
+        decode = self.rows.codec.decode
+        return {decode(value) for value in distinct_ids}
 
     # -------------------------------------------------------------- joins
 
@@ -71,33 +168,40 @@ class Relation:
 
         With no shared variables this is a cross product — the federated
         engines only request that for genuinely disconnected subqueries.
+        All key hashing and compatibility checks compare ids.
         """
         shared = self.shared_vars(other)
         out_vars = self.vars + tuple(v for v in other.vars if v not in set(self.vars))
         if not shared:
             rows = [
                 _merge_rows(self.vars, left, other.vars, right, out_vars)
-                for left in self.rows
-                for right in other.rows
+                for left in self.rows.ids
+                for right in other.rows.ids
             ]
-            return Relation(out_vars, rows, partitions=max(self.partitions, other.partitions))
+            return Relation._from_ids(
+                out_vars, rows, partitions=max(self.partitions, other.partitions)
+            )
 
         build, probe = (self, other) if len(self) <= len(other) else (other, self)
         table, wildcard_rows = _build_hash_table(build, shared)
         rows: list[Row] = []
         probe_key_indexes = [probe.vars.index(var) for var in shared]
-        for probe_row in probe.rows:
+        for probe_row in probe.rows.ids:
             key = tuple(probe_row[i] for i in probe_key_indexes)
             if None in key:
                 # Unbound join key: compatible with every build row.
-                candidates: Iterable[Row] = build.rows
+                candidates: Iterable[Row] = build.rows.ids
             else:
                 candidates = list(table.get(key, ())) + wildcard_rows
             for build_row in candidates:
-                merged = _merge_compatible(build, build_row, probe, probe_row, out_vars)
+                merged = _merge_compatible(
+                    build.vars, build_row, probe.vars, probe_row, out_vars
+                )
                 if merged is not None:
                     rows.append(merged)
-        return Relation(out_vars, rows, partitions=max(self.partitions, other.partitions))
+        return Relation._from_ids(
+            out_vars, rows, partitions=max(self.partitions, other.partitions)
+        )
 
     def left_join(self, other: "Relation") -> "Relation":
         """SPARQL OPTIONAL semantics: keep left rows with no match."""
@@ -105,78 +209,89 @@ class Relation:
         out_vars = self.vars + tuple(v for v in other.vars if v not in set(self.vars))
         rows: list[Row] = []
         if not shared:
-            if not other.rows:
+            if not other.rows.ids:
                 pad = (None,) * (len(out_vars) - len(self.vars))
-                rows = [row + pad for row in self.rows]
+                rows = [row + pad for row in self.rows.ids]
             else:
                 rows = [
                     _merge_rows(self.vars, left, other.vars, right, out_vars)
-                    for left in self.rows
-                    for right in other.rows
+                    for left in self.rows.ids
+                    for right in other.rows.ids
                 ]
-            return Relation(out_vars, rows, partitions=self.partitions)
+            return Relation._from_ids(out_vars, rows, partitions=self.partitions)
 
         table, wildcard_rows = _build_hash_table(other, shared)
         left_key_indexes = [self.vars.index(var) for var in shared]
         pad = (None,) * (len(out_vars) - len(self.vars))
-        for left_row in self.rows:
+        for left_row in self.rows.ids:
             key = tuple(left_row[i] for i in left_key_indexes)
             if None in key:
-                candidates: Iterable[Row] = other.rows
+                candidates: Iterable[Row] = other.rows.ids
             else:
                 candidates = list(table.get(key, ())) + wildcard_rows
             matched = False
             for right_row in candidates:
-                merged = _merge_compatible(self, left_row, other, right_row, out_vars)
+                merged = _merge_compatible(
+                    self.vars, left_row, other.vars, right_row, out_vars
+                )
                 if merged is not None:
                     rows.append(merged)
                     matched = True
             if not matched:
                 rows.append(left_row + pad)
-        return Relation(out_vars, rows, partitions=self.partitions)
+        return Relation._from_ids(out_vars, rows, partitions=self.partitions)
 
     # ------------------------------------------------------------ algebra
 
     def union(self, other: "Relation") -> "Relation":
         """Multiset union, aligning schemas (missing vars become unbound)."""
         out_vars = self.vars + tuple(v for v in other.vars if v not in set(self.vars))
-        rows = [_align_row(self.vars, row, out_vars) for row in self.rows]
-        rows.extend(_align_row(other.vars, row, out_vars) for row in other.rows)
-        return Relation(out_vars, rows, partitions=max(self.partitions, other.partitions))
+        rows = [_align_row(self.vars, row, out_vars) for row in self.rows.ids]
+        rows.extend(_align_row(other.vars, row, out_vars) for row in other.rows.ids)
+        return Relation._from_ids(
+            out_vars, rows, partitions=max(self.partitions, other.partitions)
+        )
 
     def project(self, variables: Sequence[Variable]) -> "Relation":
         indexes = [self.vars.index(var) if var in self.vars else None for var in variables]
         rows = [
             tuple(row[i] if i is not None else None for i in indexes)
-            for row in self.rows
+            for row in self.rows.ids
         ]
-        return Relation(variables, rows, partitions=self.partitions)
+        return Relation._from_ids(variables, rows, partitions=self.partitions)
 
     def distinct(self) -> "Relation":
         seen: set[Row] = set()
         rows: list[Row] = []
-        for row in self.rows:
+        for row in self.rows.ids:
             if row not in seen:
                 seen.add(row)
                 rows.append(row)
-        return Relation(self.vars, rows, partitions=self.partitions)
+        return Relation._from_ids(self.vars, rows, partitions=self.partitions)
 
     def filter(self, predicate: Callable[[dict[Variable, Term]], bool]) -> "Relation":
+        """Keep rows whose (term-level) solution satisfies ``predicate``."""
         rows = []
-        for row in self.rows:
-            solution = {var: value for var, value in zip(self.vars, row) if value is not None}
+        decode_row = self.rows.codec.decode_row
+        for row in self.rows.ids:
+            decoded = decode_row(row)
+            solution = {
+                var: value for var, value in zip(self.vars, decoded) if value is not None
+            }
             if predicate(solution):
                 rows.append(row)
-        return Relation(self.vars, rows, partitions=self.partitions)
+        return Relation._from_ids(self.vars, rows, partitions=self.partitions)
 
     def limit(self, limit: int | None, offset: int = 0) -> "Relation":
-        rows = self.rows[offset:]
+        rows = self.rows.ids[offset:]
         if limit is not None:
             rows = rows[:limit]
-        return Relation(self.vars, rows, partitions=self.partitions)
+        return Relation._from_ids(self.vars, rows, partitions=self.partitions)
 
 
 # --------------------------------------------------------------- internals
+# All helpers below operate on *encoded* rows: values are ids or None, so
+# every equality is an int comparison.
 
 
 def _build_hash_table(relation: Relation, shared: tuple[Variable, ...]):
@@ -184,7 +299,7 @@ def _build_hash_table(relation: Relation, shared: tuple[Variable, ...]):
     key_indexes = [relation.vars.index(var) for var in shared]
     table: dict[tuple, list[Row]] = {}
     wildcard_rows: list[Row] = []
-    for row in relation.rows:
+    for row in relation.rows.ids:
         key = tuple(row[i] for i in key_indexes)
         if None in key:
             wildcard_rows.append(row)
@@ -194,11 +309,15 @@ def _build_hash_table(relation: Relation, shared: tuple[Variable, ...]):
 
 
 def _merge_compatible(
-    left: Relation, left_row: Row, right: Relation, right_row: Row, out_vars: tuple[Variable, ...]
+    left_vars: tuple[Variable, ...],
+    left_row: Row,
+    right_vars: tuple[Variable, ...],
+    right_row: Row,
+    out_vars: tuple[Variable, ...],
 ) -> Row | None:
-    """Merge two rows if SPARQL-compatible on every shared variable."""
-    merged: dict[Variable, Term | None] = dict(zip(left.vars, left_row))
-    for var, value in zip(right.vars, right_row):
+    """Merge two encoded rows if compatible on every shared variable."""
+    merged: dict[Variable, int | None] = dict(zip(left_vars, left_row))
+    for var, value in zip(right_vars, right_row):
         existing = merged.get(var)
         if existing is None:
             merged[var] = value
@@ -214,7 +333,7 @@ def _merge_rows(
     right_row: Row,
     out_vars: tuple[Variable, ...],
 ) -> Row:
-    merged: dict[Variable, Term | None] = dict(zip(left_vars, left_row))
+    merged: dict[Variable, int | None] = dict(zip(left_vars, left_row))
     for var, value in zip(right_vars, right_row):
         if merged.get(var) is None:
             merged[var] = value

@@ -13,8 +13,19 @@ testbed.  It implements the SPARQL subset defined in
   relation, sub-SELECT evaluated independently and joined;
 * DISTINCT, ORDER BY, LIMIT/OFFSET, and COUNT aggregates.
 
-Solutions are plain ``dict[Variable, Term]`` mappings; unbound variables
-are simply absent.
+The evaluator runs entirely in the store's **id space**: variables are
+bound to dense integer ids from the store's
+:class:`~repro.store.dictionary.TermDictionary`, BGP matching iterates
+encoded id triples, and joins / DISTINCT / aggregates compare ints.
+Terms are decoded exactly once, when the :class:`SelectResult` is built —
+that is the encode/decode boundary the endpoint exposes to the
+federation.  Expression evaluation (FILTER, ORDER BY) still sees real
+terms: solutions are decoded on demand for it, since it inspects term
+internals (numeric values, language tags) rather than identity.
+
+Externally visible solutions are plain ``dict[Variable, Term]`` mappings;
+unbound variables are simply absent.  Internally the same shape holds
+ids: ``dict[Variable, int]``.
 """
 
 from __future__ import annotations
@@ -33,7 +44,7 @@ from repro.rdf.terms import (
     effective_boolean_value,
     typed_literal,
 )
-from repro.rdf.triple import Triple, TriplePattern
+from repro.rdf.triple import TriplePattern
 from repro.sparql.ast import (
     Arithmetic,
     AskQuery,
@@ -59,6 +70,8 @@ from repro.sparql.ast import (
 from repro.store.triple_store import TripleStore
 
 Solution = dict[Variable, Term]
+#: Internal solution shape: variables bound to dictionary ids.
+IdSolution = dict[Variable, int]
 
 
 class SelectResult:
@@ -171,22 +184,25 @@ def _string_value(term: Term | None) -> str:
 
 
 class _Evaluator:
-    """Evaluates one query against one store."""
+    """Evaluates one query against one store, in id space."""
 
     def __init__(self, store: TripleStore):
         self.store = store
+        self.dictionary = store.dictionary
         # Sub-SELECTs are uncorrelated with the outer bindings except
         # through the join on shared variables, so their results — and a
         # hash index per join-key — are computed once per query.  This is
         # what keeps Lusail's FILTER NOT EXISTS check queries linear
         # instead of quadratic.
-        self._subselect_cache: dict[SelectQuery, list[Solution]] = {}
-        self._subselect_indexes: dict[tuple, dict[tuple, list[Solution]]] = {}
+        self._subselect_cache: dict[SelectQuery, list[IdSolution]] = {}
+        self._subselect_indexes: dict[tuple, dict[tuple, list[IdSolution]]] = {}
+        # VALUES rows are encoded once per block, not once per solution.
+        self._values_cache: dict[ValuesPattern, list[tuple[int | None, ...]]] = {}
 
     # ----------------------------------------------------------- patterns
 
-    def eval_group(self, group: GroupPattern, solutions: list[Solution]) -> list[Solution]:
-        """Evaluate a group graph pattern given incoming solutions."""
+    def eval_group(self, group: GroupPattern, solutions: list[IdSolution]) -> list[IdSolution]:
+        """Evaluate a group graph pattern given incoming id solutions."""
         filters: list[Filter] = []
         current = solutions
         for element in group.elements:
@@ -195,10 +211,12 @@ class _Evaluator:
             else:
                 current = self._eval_element(element, current)
         for filter_node in filters:
-            current = [s for s in current if self._filter_passes(filter_node.expression, s)]
+            current = [
+                s for s in current if self._filter_passes_ids(filter_node.expression, s)
+            ]
         return current
 
-    def _eval_element(self, element: PatternNode, solutions: list[Solution]) -> list[Solution]:
+    def _eval_element(self, element: PatternNode, solutions: list[IdSolution]) -> list[IdSolution]:
         if isinstance(element, BGP):
             return self._eval_bgp(list(element.triples), solutions)
         if isinstance(element, GroupPattern):
@@ -218,24 +236,34 @@ class _Evaluator:
 
     # ---------------------------------------------------------------- BGP
 
-    def _eval_bgp(self, patterns: list[TriplePattern], solutions: list[Solution]) -> list[Solution]:
+    def _eval_bgp(self, patterns: list[TriplePattern], solutions: list[IdSolution]) -> list[IdSolution]:
         if not patterns:
             return solutions
+        # Run the whole BGP on positional id rows: variables become column
+        # slots once, so the per-candidate work inside `_extend_rows` is
+        # pure tuple indexing and int comparison — no per-pattern dict
+        # copies.  Convert back to keyed solutions only at the boundary.
+        schema: list[Variable] = []
+        seen: set[Variable] = set()
+        for solution in solutions:
+            for var in solution:
+                if var not in seen:
+                    seen.add(var)
+                    schema.append(var)
+        rows = [tuple(solution.get(var) for var in schema) for solution in solutions]
         remaining = list(patterns)
-        current = solutions
-        bound_vars: set[Variable] = set()
-        if solutions and solutions[0]:
-            # All incoming solutions share a schema superset; collect keys.
-            for solution in solutions:
-                bound_vars |= set(solution)
+        bound_vars = set(seen)
         while remaining:
             index = self._pick_next_pattern(remaining, bound_vars)
             pattern = remaining.pop(index)
-            current = self._extend_with_pattern(pattern, current)
+            schema, rows = self._extend_rows(pattern, schema, rows)
             bound_vars |= pattern.variables()
-            if not current:
+            if not rows:
                 return []
-        return current
+        return [
+            {var: value for var, value in zip(schema, row) if value is not None}
+            for row in rows
+        ]
 
     def _pick_next_pattern(self, patterns: list[TriplePattern], bound: set[Variable]) -> int:
         """Greedy ordering: prefer patterns connected to bound variables,
@@ -268,46 +296,98 @@ class _Evaluator:
             return self.store.predicate_count(p)
         return self.store.count(s, p, o)
 
-    def _extend_with_pattern(
-        self, pattern: TriplePattern, solutions: list[Solution]
-    ) -> list[Solution]:
-        pattern_vars = tuple(
-            position
-            for position in pattern.positions()
-            if isinstance(position, Variable)
-        )
-        # Memoize index lookups on the values the incoming solution binds
-        # for this pattern: many solutions share the same join key (e.g.
-        # a VALUES block binding one variable to few distinct terms).
-        match_cache: dict[tuple, list[Triple]] = {}
-        extended: list[Solution] = []
-        for solution in solutions:
-            key = tuple(solution.get(variable) for variable in pattern_vars)
+    def _extend_rows(
+        self, pattern: TriplePattern, schema: list[Variable], rows: list[tuple]
+    ) -> tuple[list[Variable], list[tuple]]:
+        """Join one triple pattern into positional id rows over ``schema``.
+
+        The pattern is compiled once against the schema: each position
+        becomes a constant id, a slot of an already-bound variable, or a
+        fresh output column.  A concrete term missing from the dictionary
+        cannot occur in the data, so the pattern is dead.
+        """
+        lookup = self.dictionary.lookup
+        slot_of = {var: index for index, var in enumerate(schema)}
+        out_schema = list(schema)
+        consts: list[int | None] = [None, None, None]
+        slots: list[int | None] = [None, None, None]
+        new_positions: list[int] = []  # triple components that bind new columns
+        eq_checks: list[tuple[int, int]] = []  # repeated fresh variable in-pattern
+        first_new: dict[Variable, int] = {}
+        for index, position in enumerate(pattern.positions()):
+            if isinstance(position, Variable):
+                slot = slot_of.get(position)
+                if slot is not None:
+                    slots[index] = slot
+                elif position in first_new:
+                    eq_checks.append((first_new[position], index))
+                else:
+                    first_new[position] = index
+                    new_positions.append(index)
+                    out_schema.append(position)
+            else:
+                term_id = lookup(position)
+                if term_id is None:
+                    return out_schema, []
+                consts[index] = term_id
+        s_const, p_const, o_const = consts
+        s_slot, p_slot, o_slot = slots
+        # Memoize index lookups on the lookup key: many rows share the
+        # same join-variable values (e.g. a VALUES block binding one
+        # variable to few distinct terms).
+        match_ids = self.store.match_ids
+        match_cache: dict[tuple, list[tuple]] = {}
+        extended: list[tuple] = []
+        for row in rows:
+            s = s_const if s_slot is None else row[s_slot]
+            p = p_const if p_slot is None else row[p_slot]
+            o = o_const if o_slot is None else row[o_slot]
+            key = (s, p, o)
             matches = match_cache.get(key)
             if matches is None:
-                matches = list(self.store.match_pattern(pattern.bind(solution)))
+                matches = list(match_ids(s, p, o))
+                if eq_checks:
+                    matches = [
+                        m for m in matches if all(m[i] == m[j] for i, j in eq_checks)
+                    ]
                 match_cache[key] = matches
-            for triple in matches:
-                new_solution = dict(solution)
-                consistent = True
-                for position, value in zip(pattern.positions(), triple):
-                    if isinstance(position, Variable):
-                        existing = new_solution.get(position)
+            # A bound slot holding None means this row leaves that
+            # variable unbound (e.g. VALUES UNDEF): the match must be
+            # written back into the slot, not just appended.
+            pending = [
+                (index, slot)
+                for index, slot in ((0, s_slot), (1, p_slot), (2, o_slot))
+                if slot is not None and row[slot] is None
+            ]
+            if not pending:
+                # Bound slots were substituted into the index lookup, so
+                # every match is consistent with them by construction.
+                for match in matches:
+                    extended.append(row + tuple(match[i] for i in new_positions))
+            else:
+                for match in matches:
+                    patched = list(row)
+                    consistent = True
+                    for index, slot in pending:
+                        value = match[index]
+                        existing = patched[slot]
                         if existing is None:
-                            new_solution[position] = value
+                            patched[slot] = value
                         elif existing != value:
                             consistent = False
                             break
-                if consistent:
-                    extended.append(new_solution)
-        return extended
+                    if consistent:
+                        extended.append(
+                            tuple(patched) + tuple(match[i] for i in new_positions)
+                        )
+        return out_schema, extended
 
     # ----------------------------------------------------------- OPTIONAL
 
     def _eval_optional(
-        self, element: OptionalPattern, solutions: list[Solution]
-    ) -> list[Solution]:
-        result: list[Solution] = []
+        self, element: OptionalPattern, solutions: list[IdSolution]
+    ) -> list[IdSolution]:
+        result: list[IdSolution] = []
         for solution in solutions:
             matches = self.eval_group(element.pattern, [dict(solution)])
             if matches:
@@ -318,10 +398,21 @@ class _Evaluator:
 
     # ------------------------------------------------------------- VALUES
 
-    def _join_values(self, element: ValuesPattern, solutions: list[Solution]) -> list[Solution]:
-        joined: list[Solution] = []
+    def _join_values(self, element: ValuesPattern, solutions: list[IdSolution]) -> list[IdSolution]:
+        rows = self._values_cache.get(element)
+        if rows is None:
+            # VALUES terms come from the query text, not the data, so they
+            # are interned: a fresh id still never equals any data id, and
+            # the row can be projected out even when it joins nothing.
+            encode = self.dictionary.encode
+            rows = [
+                tuple(None if value is None else encode(value) for value in row)
+                for row in element.rows
+            ]
+            self._values_cache[element] = rows
+        joined: list[IdSolution] = []
         for solution in solutions:
-            for row in element.rows:
+            for row in rows:
                 candidate = dict(solution)
                 compatible = True
                 for variable, value in zip(element.vars, row):
@@ -339,11 +430,18 @@ class _Evaluator:
 
     # ---------------------------------------------------------- SubSelect
 
-    def _join_subselect(self, element: SubSelect, solutions: list[Solution]) -> list[Solution]:
+    def _join_subselect(self, element: SubSelect, solutions: list[IdSolution]) -> list[IdSolution]:
         inner_solutions = self._subselect_cache.get(element.query)
         if inner_solutions is None:
-            inner = evaluate_select(self.store, element.query)
-            inner_solutions = list(inner.bindings())
+            vars, id_rows = self._select_id_result(element.query)
+            inner_solutions = [
+                {
+                    variable: value
+                    for variable, value in zip(vars, row)
+                    if value is not None
+                }
+                for row in id_rows
+            ]
             self._subselect_cache[element.query] = inner_solutions
         if not solutions:
             return []
@@ -395,7 +493,88 @@ class _Evaluator:
                     joined.append(merged)
         return joined
 
+    # ------------------------------------------------------------- SELECT
+
+    def _select_id_result(
+        self, query: SelectQuery
+    ) -> tuple[tuple[Variable, ...], list[tuple[int | None, ...]]]:
+        """Evaluate a SELECT fully in id space: schema plus id rows.
+
+        Applies aggregation, projection, DISTINCT, ORDER BY and
+        LIMIT/OFFSET.  DISTINCT and COUNT DISTINCT compare ids — the
+        dictionary is injective, so id equality *is* term equality.
+        """
+        solutions = self.eval_group(query.where, [{}])
+
+        if query.aggregate is not None:
+            aggregate = query.aggregate
+            if aggregate.variable is None:
+                count = len(solutions)
+            else:
+                values = [s[aggregate.variable] for s in solutions if aggregate.variable in s]
+                count = len(set(values)) if aggregate.distinct else len(values)
+            return (aggregate.alias,), [(self.dictionary.encode(typed_literal(count)),)]
+
+        projected = query.projected_variables()
+        rows = [tuple(solution.get(variable) for variable in projected) for solution in solutions]
+
+        if query.distinct:
+            seen: set[tuple[int | None, ...]] = set()
+            unique_rows: list[tuple[int | None, ...]] = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique_rows.append(row)
+            rows = unique_rows
+
+        if query.order_by:
+            self._sort_id_rows(rows, projected, query)
+
+        if query.offset:
+            rows = rows[query.offset:]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return projected, rows
+
+    def _sort_id_rows(
+        self,
+        rows: list[tuple[int | None, ...]],
+        projected: tuple[Variable, ...],
+        query: SelectQuery,
+    ) -> None:
+        """ORDER BY: sort keys need real terms, so rows decode per key."""
+        decode = self.dictionary.decode
+
+        def order_key(row: tuple[int | None, ...]):
+            solution = {
+                variable: decode(value)
+                for variable, value in zip(projected, row)
+                if value is not None
+            }
+            keys = []
+            for condition in query.order_by:
+                try:
+                    value = self.eval_expression(condition.expression, solution)
+                except _ExpressionError:
+                    value = None
+                if isinstance(value, bool):
+                    value = typed_literal(value)
+                key = (0,) if value is None else value.sort_key()
+                keys.append(_DescendingKey(key) if not condition.ascending else key)
+            return tuple(keys)
+
+        rows.sort(key=order_key)
+
     # ------------------------------------------------------------ filters
+
+    def _decode_solution(self, solution: IdSolution) -> Solution:
+        """Decode an id solution to terms for expression evaluation."""
+        decode = self.dictionary.decode
+        return {variable: decode(value) for variable, value in solution.items()}
+
+    def _filter_passes_ids(self, expression: Expression, solution: IdSolution) -> bool:
+        """FILTER bridge from id space: expressions inspect real terms."""
+        return self._filter_passes(expression, self._decode_solution(solution))
 
     def _filter_passes(self, expression: Expression, solution: Solution) -> bool:
         try:
@@ -440,7 +619,13 @@ class _Evaluator:
         if isinstance(expression, FunctionCall):
             return self._eval_function(expression, solution)
         if isinstance(expression, ExistsExpr):
-            matches = self.eval_group(expression.pattern, [dict(solution)])
+            # Pattern evaluation happens in id space; the (term-level)
+            # solution is re-encoded to seed it.  Interning is safe: every
+            # term here round-tripped through the dictionary already or
+            # comes from the query text.
+            encode = self.dictionary.encode
+            seed = {variable: encode(value) for variable, value in solution.items()}
+            matches = self.eval_group(expression.pattern, [seed])
             exists = bool(matches)
             return (not exists) if expression.negated else exists
         raise EvaluationError(f"cannot evaluate expression {expression!r}")
@@ -520,53 +705,15 @@ class _Evaluator:
 
 
 def evaluate_select(store: TripleStore, query: SelectQuery) -> SelectResult:
-    """Evaluate a SELECT query and materialize the result."""
+    """Evaluate a SELECT query and materialize the result.
+
+    The whole pipeline runs in id space; this is the single place where
+    ids are decoded back to terms — the endpoint's encode/decode boundary.
+    """
     evaluator = _Evaluator(store)
-    solutions = evaluator.eval_group(query.where, [{}])
-
-    if query.aggregate is not None:
-        aggregate = query.aggregate
-        if aggregate.variable is None:
-            count = len(solutions)
-        else:
-            values = [s[aggregate.variable] for s in solutions if aggregate.variable in s]
-            count = len(set(values)) if aggregate.distinct else len(values)
-        return SelectResult([aggregate.alias], [(typed_literal(count),)])
-
-    projected = query.projected_variables()
-    rows = [tuple(solution.get(variable) for variable in projected) for solution in solutions]
-
-    if query.distinct:
-        seen: set[tuple[Term | None, ...]] = set()
-        unique_rows: list[tuple[Term | None, ...]] = []
-        for row in rows:
-            if row not in seen:
-                seen.add(row)
-                unique_rows.append(row)
-        rows = unique_rows
-
-    if query.order_by:
-        def order_key(row: tuple[Term | None, ...]):
-            solution = {var: value for var, value in zip(projected, row) if value is not None}
-            keys = []
-            for condition in query.order_by:
-                try:
-                    value = evaluator.eval_expression(condition.expression, solution)
-                except _ExpressionError:
-                    value = None
-                if isinstance(value, bool):
-                    value = typed_literal(value)
-                key = (0,) if value is None else value.sort_key()
-                keys.append(_DescendingKey(key) if not condition.ascending else key)
-            return tuple(keys)
-
-        rows.sort(key=order_key)
-
-    if query.offset:
-        rows = rows[query.offset:]
-    if query.limit is not None:
-        rows = rows[: query.limit]
-    return SelectResult(projected, rows)
+    projected, id_rows = evaluator._select_id_result(query)
+    decode_row = store.dictionary.decode_row
+    return SelectResult(projected, [decode_row(row) for row in id_rows])
 
 
 class _DescendingKey:

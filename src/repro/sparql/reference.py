@@ -1,0 +1,243 @@
+"""Reference term-space data plane (pre-dictionary-encoding semantics).
+
+The production path (:mod:`repro.store.triple_store`,
+:mod:`repro.sparql.evaluator`, :mod:`repro.relational.relation`) runs on
+dictionary-encoded integer ids.  This module preserves the original
+term-object implementation — nested indexes keyed on terms, ``Triple``
+materialization per match, term-tuple hash joins — for two purposes:
+
+* **oracle**: property tests assert the encoded evaluator produces the
+  same solution multiset as this reference path on randomized data;
+* **baseline**: ``benchmarks/bench_microperf.py`` measures the encoded
+  hot loops against these reference loops in the same process, so the
+  checked-in speedups are apples-to-apples.
+
+It intentionally mirrors the seed algorithms line for line (same
+memoization keys, same compatibility rules); do not "optimize" it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.rdf.terms import Term, Variable
+from repro.rdf.triple import Triple, TriplePattern
+
+Solution = dict  # dict[Variable, Term]
+Row = tuple  # tuple[Term | None, ...]
+
+_Index = dict  # nested: level1 -> level2 -> set(level3)
+
+
+def _index_add(index: _Index, a: Term, b: Term, c: Term) -> None:
+    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+
+class ReferenceStore:
+    """Term-keyed SPO/POS/OSP store, as before dictionary encoding."""
+
+    def __init__(self):
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        objects = self._spo.get(triple.subject, {}).get(triple.predicate)
+        return objects is not None and triple.object in objects
+
+    def __iter__(self) -> Iterator[Triple]:
+        for subject, by_predicate in self._spo.items():
+            for predicate, objects in by_predicate.items():
+                for obj in objects:
+                    yield Triple(subject, predicate, obj)
+
+    def add(self, triple: Triple) -> bool:
+        if triple in self:
+            return False
+        s, p, o = triple.subject, triple.predicate, triple.object
+        _index_add(self._spo, s, p, o)
+        _index_add(self._pos, p, o, s)
+        _index_add(self._osp, o, s, p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        added = 0
+        for triple in triples:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def match_pattern(self, pattern: TriplePattern) -> Iterator[Triple]:
+        subject, predicate, object = pattern.subject, pattern.predicate, pattern.object
+        s = subject if not isinstance(subject, Variable) else None
+        p = predicate if not isinstance(predicate, Variable) else None
+        o = object if not isinstance(object, Variable) else None
+        iterator = self._match_bound(s, p, o)
+        pattern_vars = [x for x in (subject, predicate, object) if isinstance(x, Variable)]
+        if len(pattern_vars) != len(set(pattern_vars)):
+            return (t for t in iterator if pattern.matches(t))
+        return iterator
+
+    def _match_bound(self, s: Term | None, p: Term | None, o: Term | None) -> Iterator[Triple]:
+        if s is not None and p is not None and o is not None:
+            triple = Triple(s, p, o)
+            return iter((triple,)) if triple in self else iter(())
+        if s is not None and p is not None:
+            objects = self._spo.get(s, {}).get(p, ())
+            return (Triple(s, p, obj) for obj in objects)
+        if p is not None and o is not None:
+            subjects = self._pos.get(p, {}).get(o, ())
+            return (Triple(subj, p, o) for subj in subjects)
+        if s is not None and o is not None:
+            predicates = self._osp.get(o, {}).get(s, ())
+            return (Triple(s, pred, o) for pred in predicates)
+        if s is not None:
+            return (
+                Triple(s, pred, obj)
+                for pred, objects in self._spo.get(s, {}).items()
+                for obj in objects
+            )
+        if p is not None:
+            return (
+                Triple(subj, p, obj)
+                for obj, subjects in self._pos.get(p, {}).items()
+                for subj in subjects
+            )
+        if o is not None:
+            return (
+                Triple(subj, pred, o)
+                for subj, predicates in self._osp.get(o, {}).items()
+                for pred in predicates
+            )
+        return iter(self)
+
+
+def reference_extend(
+    store: ReferenceStore, pattern: TriplePattern, solutions: list[Solution]
+) -> list[Solution]:
+    """The seed evaluator's pattern-join step, term objects throughout."""
+    pattern_vars = tuple(
+        position for position in pattern.positions() if isinstance(position, Variable)
+    )
+    match_cache: dict[tuple, list[Triple]] = {}
+    extended: list[Solution] = []
+    for solution in solutions:
+        key = tuple(solution.get(variable) for variable in pattern_vars)
+        matches = match_cache.get(key)
+        if matches is None:
+            matches = list(store.match_pattern(pattern.bind(solution)))
+            match_cache[key] = matches
+        for triple in matches:
+            new_solution = dict(solution)
+            consistent = True
+            for position, value in zip(pattern.positions(), triple):
+                if isinstance(position, Variable):
+                    existing = new_solution.get(position)
+                    if existing is None:
+                        new_solution[position] = value
+                    elif existing != value:
+                        consistent = False
+                        break
+            if consistent:
+                extended.append(new_solution)
+    return extended
+
+
+def reference_bgp(
+    store: ReferenceStore, patterns: Sequence[TriplePattern]
+) -> list[Solution]:
+    """Evaluate a basic graph pattern left to right in term space."""
+    solutions: list[Solution] = [{}]
+    for pattern in patterns:
+        solutions = reference_extend(store, pattern, solutions)
+        if not solutions:
+            return []
+    return solutions
+
+
+def reference_hash_join(
+    left_vars: Sequence[Variable],
+    left_rows: list[Row],
+    right_vars: Sequence[Variable],
+    right_rows: list[Row],
+) -> tuple[tuple[Variable, ...], list[Row]]:
+    """The seed mediator hash join: keys and merges compare term objects."""
+    left_vars = tuple(left_vars)
+    right_vars = tuple(right_vars)
+    left_set = set(left_vars)
+    shared = tuple(var for var in left_vars if var in set(right_vars))
+    out_vars = left_vars + tuple(v for v in right_vars if v not in left_set)
+    if not shared:
+        rows = [
+            _merge_rows(left_vars, left, right_vars, right, out_vars)
+            for left in left_rows
+            for right in right_rows
+        ]
+        return out_vars, rows
+
+    if len(left_rows) <= len(right_rows):
+        build_vars, build_rows = left_vars, left_rows
+        probe_vars, probe_rows = right_vars, right_rows
+    else:
+        build_vars, build_rows = right_vars, right_rows
+        probe_vars, probe_rows = left_vars, left_rows
+
+    key_indexes = [build_vars.index(var) for var in shared]
+    table: dict[tuple, list[Row]] = {}
+    wildcard_rows: list[Row] = []
+    for row in build_rows:
+        key = tuple(row[i] for i in key_indexes)
+        if None in key:
+            wildcard_rows.append(row)
+        else:
+            table.setdefault(key, []).append(row)
+
+    rows: list[Row] = []
+    probe_key_indexes = [probe_vars.index(var) for var in shared]
+    for probe_row in probe_rows:
+        key = tuple(probe_row[i] for i in probe_key_indexes)
+        if None in key:
+            candidates: Iterable[Row] = build_rows
+        else:
+            candidates = list(table.get(key, ())) + wildcard_rows
+        for build_row in candidates:
+            merged = _merge_compatible(build_vars, build_row, probe_vars, probe_row, out_vars)
+            if merged is not None:
+                rows.append(merged)
+    return out_vars, rows
+
+
+def _merge_compatible(
+    left_vars: tuple[Variable, ...],
+    left_row: Row,
+    right_vars: tuple[Variable, ...],
+    right_row: Row,
+    out_vars: tuple[Variable, ...],
+) -> Row | None:
+    merged: dict[Variable, Term | None] = dict(zip(left_vars, left_row))
+    for var, value in zip(right_vars, right_row):
+        existing = merged.get(var)
+        if existing is None:
+            merged[var] = value
+        elif value is not None and existing != value:
+            return None
+    return tuple(merged.get(var) for var in out_vars)
+
+
+def _merge_rows(
+    left_vars: tuple[Variable, ...],
+    left_row: Row,
+    right_vars: tuple[Variable, ...],
+    right_row: Row,
+    out_vars: tuple[Variable, ...],
+) -> Row:
+    merged: dict[Variable, Term | None] = dict(zip(left_vars, left_row))
+    for var, value in zip(right_vars, right_row):
+        if merged.get(var) is None:
+            merged[var] = value
+    return tuple(merged.get(var) for var in out_vars)

@@ -1,5 +1,6 @@
-"""In-memory indexed triple store."""
+"""In-memory indexed triple store and its term dictionary."""
 
+from repro.store.dictionary import TermDictionary
 from repro.store.triple_store import TripleStore
 
-__all__ = ["TripleStore"]
+__all__ = ["TermDictionary", "TripleStore"]

@@ -1,34 +1,46 @@
-"""An indexed in-memory triple store.
+"""An indexed in-memory triple store, dictionary-encoded.
 
-This is the storage substrate behind every simulated SPARQL endpoint.  It
-maintains three permutation indexes (SPO, POS, OSP) as nested dictionaries,
-which lets any triple pattern with at least one bound position be answered
-by dictionary lookups rather than scans, mirroring how RDF-3X-style engines
-serve basic graph patterns.
+This is the storage substrate behind every simulated SPARQL endpoint.
+Like the RDF-3X-style engines it mirrors, the store first maps every term
+to a dense integer id through its :class:`~repro.store.dictionary.TermDictionary`
+and then maintains three permutation indexes (SPO, POS, OSP) as nested
+dictionaries *keyed on those ids*, which lets any triple pattern with at
+least one bound position be answered by integer dictionary lookups rather
+than scans or string re-hashing.
+
+The public API still speaks :class:`~repro.rdf.terms.Term`; the id-space
+surface (``match_ids`` / ``count_ids`` / ``ask_ids`` and the ``dictionary``
+attribute) is what the SPARQL evaluator runs on.  Terms are decoded back
+only when a caller asks for :class:`~repro.rdf.triple.Triple` objects.
 
 Per-predicate statistics (triple counts, distinct subjects/objects) are
-maintained incrementally.  The paper notes that "cardinality statistics per
-predicate are usually collected by RDF engines for their runtime query
-optimization" — SAPE's COUNT probe queries and SPLENDID's VoID index both
-read these numbers.
+maintained incrementally — including distinct-subject counts, which used
+to require a full SPO scan per call.  The paper notes that "cardinality
+statistics per predicate are usually collected by RDF engines for their
+runtime query optimization" — SAPE's COUNT probe queries and SPLENDID's
+VoID index both read these numbers.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.rdf.terms import IRI, PatternTerm, Term, Variable
 from repro.rdf.triple import Triple, TriplePattern
+from repro.store.dictionary import TermDictionary
 
-_Index = dict  # nested: level1 -> level2 -> set(level3)
+_Index = dict  # nested: level1 id -> level2 id -> set(level3 id)
+
+#: An encoded triple: (subject id, predicate id, object id).
+IdTriple = tuple
 
 
-def _index_add(index: _Index, a: Term, b: Term, c: Term) -> None:
+def _index_add(index: _Index, a: int, b: int, c: int) -> None:
     index.setdefault(a, {}).setdefault(b, set()).add(c)
 
 
-def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
+def _index_remove(index: _Index, a: int, b: int, c: int) -> None:
     second = index.get(a)
     if second is None:
         return
@@ -43,33 +55,55 @@ def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
 
 
 class TripleStore:
-    """A set of triples with SPO / POS / OSP permutation indexes.
+    """A set of triples with id-keyed SPO / POS / OSP permutation indexes.
 
     The store deduplicates triples (RDF graphs are sets).  All match
     methods treat a :class:`Variable` or ``None`` in a position as a
     wildcard.
     """
 
-    def __init__(self, name: str = "store"):
+    def __init__(self, name: str = "store", dictionary: TermDictionary | None = None):
         self.name = name
+        #: The per-endpoint term dictionary.  Ids are stable for the
+        #: lifetime of the store (``clear`` empties the indexes but keeps
+        #: the dictionary, so cached encodings stay valid).
+        self.dictionary = dictionary if dictionary is not None else TermDictionary()
         self._spo: _Index = {}
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
-        self._predicate_counts: Counter[Term] = Counter()
+        self._predicate_counts: Counter[int] = Counter()
+        # Incremental distinct-subject statistics: predicate id ->
+        # {subject id: number of triples with that (subject, predicate)}.
+        # distinct_subjects(p) is then an O(1) len() instead of the full
+        # SPO scan it used to be.
+        self._predicate_subjects: dict[int, dict[int, int]] = {}
 
     def __len__(self) -> int:
         return self._size
 
     def __contains__(self, triple: Triple) -> bool:
-        objects = self._spo.get(triple.subject, {}).get(triple.predicate)
-        return objects is not None and triple.object in objects
+        lookup = self.dictionary.lookup
+        s = lookup(triple.subject)
+        if s is None:
+            return False
+        p = lookup(triple.predicate)
+        if p is None:
+            return False
+        o = lookup(triple.object)
+        if o is None:
+            return False
+        objects = self._spo.get(s, {}).get(p)
+        return objects is not None and o in objects
 
     def __iter__(self) -> Iterator[Triple]:
-        for subject, by_predicate in self._spo.items():
-            for predicate, objects in by_predicate.items():
-                for obj in objects:
-                    yield Triple(subject, predicate, obj)
+        decode = self.dictionary.decode
+        for s, by_predicate in self._spo.items():
+            subject = decode(s)
+            for p, objects in by_predicate.items():
+                predicate = decode(p)
+                for o in objects:
+                    yield Triple(subject, predicate, decode(o))
 
     def __repr__(self) -> str:
         return f"TripleStore({self.name!r}, triples={self._size})"
@@ -78,14 +112,20 @@ class TripleStore:
 
     def add(self, triple: Triple) -> bool:
         """Insert a triple; returns True if it was not already present."""
-        if triple in self:
+        encode = self.dictionary.encode
+        s = encode(triple.subject)
+        p = encode(triple.predicate)
+        o = encode(triple.object)
+        objects = self._spo.get(s, {}).get(p)
+        if objects is not None and o in objects:
             return False
-        s, p, o = triple.subject, triple.predicate, triple.object
         _index_add(self._spo, s, p, o)
         _index_add(self._pos, p, o, s)
         _index_add(self._osp, o, s, p)
         self._size += 1
         self._predicate_counts[p] += 1
+        subjects = self._predicate_subjects.setdefault(p, {})
+        subjects[s] = subjects.get(s, 0) + 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -100,7 +140,10 @@ class TripleStore:
         """Delete a triple; returns True if it was present."""
         if triple not in self:
             return False
-        s, p, o = triple.subject, triple.predicate, triple.object
+        lookup = self.dictionary.lookup
+        s = lookup(triple.subject)
+        p = lookup(triple.predicate)
+        o = lookup(triple.object)
         _index_remove(self._spo, s, p, o)
         _index_remove(self._pos, p, o, s)
         _index_remove(self._osp, o, s, p)
@@ -108,6 +151,12 @@ class TripleStore:
         self._predicate_counts[p] -= 1
         if self._predicate_counts[p] == 0:
             del self._predicate_counts[p]
+        subjects = self._predicate_subjects[p]
+        subjects[s] -= 1
+        if subjects[s] == 0:
+            del subjects[s]
+            if not subjects:
+                del self._predicate_subjects[p]
         return True
 
     # ---------------------------------------------------------------- match
@@ -123,54 +172,86 @@ class TripleStore:
         ``None`` or a :class:`Variable` acts as a wildcard.  Repeated
         variables (e.g. same variable as subject and object) are enforced.
         """
-        s = subject if not isinstance(subject, Variable) else None
-        p = predicate if not isinstance(predicate, Variable) else None
-        o = object if not isinstance(object, Variable) else None
+        ids = self._encode_positions(subject, predicate, object)
+        if ids is None:
+            return iter(())
+        s, p, o = ids
+        iterator = self.match_ids(s, p, o)
+        repeated = _repeated_variable_check(subject, predicate, object)
+        if repeated is not None:
+            iterator = filter(repeated, iterator)
+        return self._decode_triples(iterator)
 
-        iterator = self._match_bound(s, p, o)
-        # Enforce consistency for repeated variables.
-        pattern_vars = [x for x in (subject, predicate, object) if isinstance(x, Variable)]
-        if len(pattern_vars) != len(set(pattern_vars)):
-            pattern = TriplePattern(
-                subject if subject is not None else Variable("__s"),
-                predicate if predicate is not None else Variable("__p"),
-                object if object is not None else Variable("__o"),
-            )
-            return (t for t in iterator if pattern.matches(t))
-        return iterator
+    def _encode_positions(
+        self,
+        subject: PatternTerm | None,
+        predicate: PatternTerm | None,
+        object: PatternTerm | None,
+    ) -> tuple[int | None, int | None, int | None] | None:
+        """Bound positions -> ids; ``None`` result means "cannot match"."""
+        lookup = self.dictionary.lookup
+        ids = []
+        for position in (subject, predicate, object):
+            if position is None or isinstance(position, Variable):
+                ids.append(None)
+            else:
+                term_id = lookup(position)
+                if term_id is None:
+                    return None
+                ids.append(term_id)
+        return ids[0], ids[1], ids[2]
 
-    def _match_bound(self, s: Term | None, p: Term | None, o: Term | None) -> Iterator[Triple]:
+    def _decode_triples(self, id_triples: Iterable[IdTriple]) -> Iterator[Triple]:
+        decode = self.dictionary.decode
+        for s, p, o in id_triples:
+            yield Triple(decode(s), decode(p), decode(o))
+
+    def match_ids(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> Iterator[IdTriple]:
+        """Iterate encoded ``(s, p, o)`` id triples; ``None`` is a wildcard.
+
+        This is the hot matching path the SPARQL evaluator drives: no
+        :class:`Triple` objects are built and every comparison is an int.
+        """
         if s is not None and p is not None and o is not None:
-            triple = Triple(s, p, o)
-            return iter((triple,)) if triple in self else iter(())
+            objects = self._spo.get(s, {}).get(p)
+            if objects is not None and o in objects:
+                return iter(((s, p, o),))
+            return iter(())
         if s is not None and p is not None:
             objects = self._spo.get(s, {}).get(p, ())
-            return (Triple(s, p, obj) for obj in objects)
+            return ((s, p, obj) for obj in objects)
         if p is not None and o is not None:
             subjects = self._pos.get(p, {}).get(o, ())
-            return (Triple(subj, p, o) for subj in subjects)
+            return ((subj, p, o) for subj in subjects)
         if s is not None and o is not None:
             predicates = self._osp.get(o, {}).get(s, ())
-            return (Triple(s, pred, o) for pred in predicates)
+            return ((s, pred, o) for pred in predicates)
         if s is not None:
             return (
-                Triple(s, pred, obj)
+                (s, pred, obj)
                 for pred, objects in self._spo.get(s, {}).items()
                 for obj in objects
             )
         if p is not None:
             return (
-                Triple(subj, p, obj)
+                (subj, p, obj)
                 for obj, subjects in self._pos.get(p, {}).items()
                 for subj in subjects
             )
         if o is not None:
             return (
-                Triple(subj, pred, o)
+                (subj, pred, o)
                 for subj, predicates in self._osp.get(o, {}).items()
                 for pred in predicates
             )
-        return iter(self)
+        return (
+            (subj, pred, obj)
+            for subj, by_predicate in self._spo.items()
+            for pred, objects in by_predicate.items()
+            for obj in objects
+        )
 
     def match_pattern(self, pattern: TriplePattern) -> Iterator[Triple]:
         """Iterate triples matching a :class:`TriplePattern`."""
@@ -185,11 +266,19 @@ class TripleStore:
         """Number of matching triples.
 
         Predicate-only counts come straight from the maintained statistics
-        (O(1)); other shapes use the indexes without materializing triples.
+        (O(1)); other shapes use the id indexes without decoding terms.
         """
-        s = subject if not isinstance(subject, Variable) else None
-        p = predicate if not isinstance(predicate, Variable) else None
-        o = object if not isinstance(object, Variable) else None
+        ids = self._encode_positions(subject, predicate, object)
+        if ids is None:
+            return 0
+        s, p, o = ids
+        repeated = _repeated_variable_check(subject, predicate, object)
+        if repeated is not None:
+            return sum(1 for __ in filter(repeated, self.match_ids(s, p, o)))
+        return self.count_ids(s, p, o)
+
+    def count_ids(self, s: int | None = None, p: int | None = None, o: int | None = None) -> int:
+        """Number of matching id triples (no repeated-variable semantics)."""
         if s is None and o is None:
             if p is None:
                 return self._size
@@ -198,7 +287,7 @@ class TripleStore:
             return len(self._spo.get(s, {}).get(p, ()))
         if p is not None and o is not None and s is None:
             return len(self._pos.get(p, {}).get(o, ()))
-        return sum(1 for __ in self.match(subject, predicate, object))
+        return sum(1 for __ in self.match_ids(s, p, o))
 
     def ask(
         self,
@@ -207,51 +296,117 @@ class TripleStore:
         object: PatternTerm | None = None,
     ) -> bool:
         """True if at least one triple matches (SPARQL ASK on one pattern)."""
-        return next(iter(self.match(subject, predicate, object)), None) is not None
+        ids = self._encode_positions(subject, predicate, object)
+        if ids is None:
+            return False
+        s, p, o = ids
+        iterator = self.match_ids(s, p, o)
+        repeated = _repeated_variable_check(subject, predicate, object)
+        if repeated is not None:
+            iterator = filter(repeated, iterator)
+        return next(iter(iterator), None) is not None
+
+    def ask_ids(self, s: int | None = None, p: int | None = None, o: int | None = None) -> bool:
+        """True if at least one id triple matches."""
+        return next(iter(self.match_ids(s, p, o)), None) is not None
 
     # ----------------------------------------------------------- statistics
 
     def predicates(self) -> set[Term]:
         """All distinct predicates present in the store."""
-        return set(self._predicate_counts)
+        decode = self.dictionary.decode
+        return {decode(p) for p in self._predicate_counts}
 
     def predicate_count(self, predicate: Term) -> int:
-        return self._predicate_counts.get(predicate, 0)
+        p = self.dictionary.lookup(predicate)
+        if p is None:
+            return 0
+        return self._predicate_counts.get(p, 0)
 
     def distinct_subjects(self, predicate: Term | None = None) -> int:
         if predicate is None:
             return len(self._spo)
-        return sum(1 for by_pred in self._spo.values() if predicate in by_pred)
+        p = self.dictionary.lookup(predicate)
+        if p is None:
+            return 0
+        return len(self._predicate_subjects.get(p, ()))
 
     def distinct_objects(self, predicate: Term | None = None) -> int:
         if predicate is None:
             return len(self._osp)
-        return len(self._pos.get(predicate, {}))
+        p = self.dictionary.lookup(predicate)
+        if p is None:
+            return 0
+        return len(self._pos.get(p, {}))
 
     def subject_authorities(self, predicate: Term) -> set[str]:
         """Distinct IRI authorities of subjects of ``predicate``.
 
         This is the summary HiBISCuS-style source selection builds per
-        endpoint.
+        endpoint.  It walks the incremental distinct-subject statistics,
+        decoding each distinct subject exactly once.
         """
+        p = self.dictionary.lookup(predicate)
+        if p is None:
+            return set()
+        decode = self.dictionary.decode
         authorities = set()
-        for obj_map in (self._pos.get(predicate) or {}).values():
-            for subj in obj_map:
-                if isinstance(subj, IRI):
-                    authorities.add(subj.authority)
+        for s in self._predicate_subjects.get(p, ()):
+            subject = decode(s)
+            if isinstance(subject, IRI):
+                authorities.add(subject.authority)
         return authorities
 
     def object_authorities(self, predicate: Term) -> set[str]:
         """Distinct IRI authorities of IRI-valued objects of ``predicate``."""
+        p = self.dictionary.lookup(predicate)
+        if p is None:
+            return set()
+        decode = self.dictionary.decode
         authorities = set()
-        for obj in self._pos.get(predicate) or {}:
+        for o in self._pos.get(p, ()):
+            obj = decode(o)
             if isinstance(obj, IRI):
                 authorities.add(obj.authority)
         return authorities
 
     def clear(self) -> None:
+        """Drop all triples.  The dictionary is kept: ids stay valid."""
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
         self._predicate_counts.clear()
+        self._predicate_subjects.clear()
         self._size = 0
+
+
+def _repeated_variable_check(
+    subject: PatternTerm | None,
+    predicate: PatternTerm | None,
+    object: PatternTerm | None,
+) -> Callable[[IdTriple], bool] | None:
+    """Consistency filter for patterns repeating a variable, or ``None``.
+
+    Works directly on id triples: ``?x :p ?x`` only matches encoded
+    triples whose subject id equals their object id.
+    """
+    s_var = subject if isinstance(subject, Variable) else None
+    p_var = predicate if isinstance(predicate, Variable) else None
+    o_var = object if isinstance(object, Variable) else None
+    sp = s_var is not None and s_var == p_var
+    so = s_var is not None and s_var == o_var
+    po = p_var is not None and p_var == o_var
+    if not (sp or so or po):
+        return None
+
+    def check(id_triple: IdTriple) -> bool:
+        s, p, o = id_triple
+        if sp and s != p:
+            return False
+        if so and s != o:
+            return False
+        if po and p != o:
+            return False
+        return True
+
+    return check
