@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Seeded chaos smoke check (see ``scripts/check.sh``).
+
+Runs one LUBM query with Lusail under the ``transient`` fault profile
+with retries enabled, and asserts that (1) faults were actually
+injected, (2) the retry layer recovered and the query succeeded, and
+(3) a second run under the same ``(seed, plan)`` reproduces the exact
+same virtual time and retry count — the determinism contract of
+``repro.faults``.
+
+Exits non-zero on any problem; prints a one-line summary otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.datasets import lubm
+from repro.faults import default_chaos_policy, fault_profile
+from repro.harness import make_engines
+from repro.obs import MetricsRegistry
+
+
+def run_once(seed: int):
+    federation = lubm.build_federation(2, profile=lubm.TINY_PROFILE, seed=42)
+    registry = MetricsRegistry()
+    engines = make_engines(
+        federation,
+        which=("Lusail",),
+        registry=registry,
+        fault_plan=fault_profile("transient", seed=seed),
+        resilience=default_chaos_policy(seed),
+    )
+    outcome = engines["Lusail"].execute(lubm.queries()["Q4"])
+    return outcome, registry
+
+
+def main() -> int:
+    problems: list[str] = []
+    outcome, registry = run_once(seed=0)
+    metrics = outcome.metrics
+
+    if not outcome.ok:
+        problems.append(f"query failed under transient faults: {outcome.status}")
+    if registry.counter_value("faults_injected_total") == 0:
+        problems.append("no faults injected (profile not applied?)")
+    if metrics.retries == 0:
+        problems.append("query succeeded without retries (faults not surfacing?)")
+    if metrics.failed_request_count() != metrics.retries:
+        problems.append(
+            f"every failed request should be retried exactly once here: "
+            f"{metrics.failed_request_count()} failures vs {metrics.retries} retries"
+        )
+    if not outcome.complete:
+        problems.append("no endpoint was dropped, yet completeness is partial")
+
+    repeat, __ = run_once(seed=0)
+    if repeat.metrics.virtual_ms != metrics.virtual_ms:
+        problems.append(
+            f"same (seed, plan) gave different virtual times: "
+            f"{metrics.virtual_ms} vs {repeat.metrics.virtual_ms}"
+        )
+    if repeat.metrics.retries != metrics.retries:
+        problems.append("same (seed, plan) gave different retry counts")
+
+    if problems:
+        for problem in problems:
+            print(f"chaos smoke: {problem}", file=sys.stderr)
+        return 1
+
+    print(
+        f"chaos smoke: ok — Q4 recovered from "
+        f"{metrics.failed_request_count()} injected faults with "
+        f"{metrics.retries} retries, {metrics.virtual_ms:.1f} virtual ms "
+        f"(reproducible)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,10 @@
 #    (scripts/trace_smoke.py);
 # 3. smoke-runs the data-plane micro-benchmark at tiny scale and asserts
 #    BENCH_micro.json is produced and well-formed, plus a dictionary
-#    round-trip check (scripts/microbench_smoke.py).
+#    round-trip check (scripts/microbench_smoke.py);
+# 4. runs one LUBM query under the seeded transient-fault profile and
+#    asserts the retry layer recovers deterministically
+#    (scripts/chaos_smoke.py).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,5 +27,8 @@ python scripts/trace_smoke.py
 
 echo "== microbench + dictionary smoke =="
 python scripts/microbench_smoke.py
+
+echo "== seeded chaos smoke =="
+python scripts/chaos_smoke.py
 
 echo "check.sh: all green"

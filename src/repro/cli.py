@@ -8,6 +8,7 @@ Commands
 ``explain``   print Lusail's compile-time plan for a query
 ``bench``     run one of the paper's experiments and print its table
 ``profile``   execute a query with tracing on and print the span tree
+``chaos``     run queries under injected faults and report resilience
 
 Examples::
 
@@ -16,6 +17,7 @@ Examples::
     python -m repro explain --benchmark qfed --name Drug
     python -m repro bench --experiment fig03
     python -m repro profile --benchmark lubm --name Q4 --trace-out /tmp/q4.jsonl
+    python -m repro chaos --benchmark lubm --faults transient,outage --partial
 """
 
 from __future__ import annotations
@@ -27,11 +29,13 @@ import sys
 from repro.core.engine import LusailEngine
 from repro.datasets import bio2rdf, io as dataset_io, largerdf, lubm, qfed, queries_largerdf
 from repro.endpoint.federation import Federation
+from repro.faults import FAULT_PROFILES, ResiliencePolicy, default_chaos_policy
 from repro.harness import (
     ENGINE_ORDER,
     make_engines,
     results_by_query,
     results_to_json,
+    run_chaos,
     run_matrix,
 )
 from repro.net.simulator import geo_distributed_config, local_cluster_config
@@ -156,6 +160,23 @@ def cmd_query(args) -> int:
     return 0 if outcome.ok else 1
 
 
+def _probe_cache_line(registry: MetricsRegistry) -> str:
+    """One-line probe-cache hit/miss summary from the registry."""
+    kinds = registry.label_values("probe_cache_hits_total", "kind") | registry.label_values(
+        "probe_cache_misses_total", "kind"
+    )
+    if not kinds:
+        return ""
+    parts = []
+    for kind in sorted(kinds):
+        hits = int(registry.counter_value("probe_cache_hits_total", kind=kind))
+        misses = int(registry.counter_value("probe_cache_misses_total", kind=kind))
+        total = hits + misses
+        rate = hits / total if total else 0.0
+        parts.append(f"{kind} {hits}/{total} ({rate:.0%})")
+    return "probe caches (hits/lookups): " + ", ".join(parts)
+
+
 def cmd_profile(args) -> int:
     """Run one query with tracing enabled and print the span tree."""
     federation = _build_federation(args)
@@ -178,6 +199,9 @@ def cmd_profile(args) -> int:
     print()
     print(endpoint_summary_table(metrics))
     print()
+    cache_line = _probe_cache_line(registry)
+    if cache_line:
+        print(cache_line)
     print(
         f"status: {outcome.status}; {len(outcome.result)} rows, "
         f"{metrics.request_count()} requests "
@@ -192,6 +216,56 @@ def cmd_profile(args) -> int:
         write_metrics_json(registry, args.json)
         print(f"metrics snapshot written to {args.json}")
     return 0 if outcome.ok else 1
+
+
+def cmd_chaos(args) -> int:
+    """Run benchmark queries under injected faults and print the report."""
+    federation = _build_federation(args)
+    config = geo_distributed_config() if args.geo else local_cluster_config()
+    queries = _named_queries(args.benchmark)
+    if args.queries:
+        wanted = [name.strip() for name in args.queries.split(",") if name.strip()]
+        unknown = [name for name in wanted if name not in queries]
+        if unknown:
+            raise SystemExit(
+                f"unknown queries {', '.join(unknown)}; available: {', '.join(sorted(queries))}"
+            )
+        queries = {name: queries[name] for name in wanted}
+    profiles = [name.strip() for name in args.faults.split(",") if name.strip()]
+    unknown = [name for name in profiles if name not in FAULT_PROFILES]
+    if unknown:
+        raise SystemExit(
+            f"unknown fault profiles {', '.join(unknown)}; available: {', '.join(FAULT_PROFILES)}"
+        )
+    engines = [name.strip() for name in args.engines.split(",") if name.strip()]
+    if args.no_resilience:
+        resilience: ResiliencePolicy | None = None
+    else:
+        resilience = ResiliencePolicy(
+            request_timeout_ms=default_chaos_policy().request_timeout_ms,
+            max_retries=args.retries,
+            seed=args.fault_seed,
+            breaker_enabled=True,
+        )
+    report = run_chaos(
+        federation,
+        queries,
+        profiles=profiles,
+        which=engines,
+        resilience=resilience,
+        partial_results=args.partial,
+        network_config=config,
+        fault_seed=args.fault_seed,
+    )
+    print(report.format_runs())
+    print()
+    print(report.format_summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(report.to_json(), stream, indent=2)
+            stream.write("\n")
+        print(f"chaos report written to {args.json}")
+    return 0
 
 
 def cmd_explain(args) -> int:
@@ -316,6 +390,25 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--trace-out", help="write the span trace as JSONL")
     profile.add_argument("--json", help="write a metrics-registry snapshot as JSON")
     profile.set_defaults(func=cmd_profile)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run queries under injected faults and report resilience"
+    )
+    _add_federation_args(chaos)
+    chaos.add_argument("--engines", default="Lusail,FedX",
+                       help="comma-separated engine names")
+    chaos.add_argument("--faults", default="none,transient",
+                       help=f"comma-separated fault profiles ({', '.join(FAULT_PROFILES)})")
+    chaos.add_argument("--queries", help="comma-separated query names (default: all)")
+    chaos.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the fault plan and retry jitter")
+    chaos.add_argument("--retries", type=int, default=3, help="max retries per request")
+    chaos.add_argument("--no-resilience", action="store_true",
+                       help="disable timeouts, retries, and circuit breakers")
+    chaos.add_argument("--partial", action="store_true",
+                       help="Lusail drops dead endpoints instead of failing")
+    chaos.add_argument("--json", help="write the chaos report as JSON")
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

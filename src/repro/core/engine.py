@@ -68,6 +68,10 @@ class LusailConfig:
     #: mediator's worker pool and join parallelism scale with the number
     #: of machines hosting it.
     machines: int = 1
+    #: Degradation under faults (see docs/resilience.md): drop an
+    #: irrecoverable endpoint's contribution instead of failing the
+    #: query, reporting completeness metadata.
+    partial_results: bool = False
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
@@ -76,6 +80,7 @@ class LusailConfig:
             greedy_join_order=self.greedy_join_order,
             max_mediator_rows=self.max_mediator_rows,
             pool_size=self.pool_size * max(1, self.machines),
+            partial_results=self.partial_results,
         )
 
 

@@ -26,7 +26,7 @@ from repro.core.execution.cost_model import CardinalityEstimates
 from repro.core.execution.join_order import execute_plan, plan_joins
 from repro.core.execution.request_handler import ElasticRequestHandler
 from repro.endpoint.client import FederationClient
-from repro.exceptions import MemoryLimitError
+from repro.exceptions import MemoryLimitError, NetworkError
 from repro.net import metrics as metrics_module
 from repro.net.simulator import MediatorCostModel
 from repro.planning.source_selection import refine_sources_with_bindings
@@ -45,6 +45,12 @@ class SchedulerConfig:
     greedy_join_order: bool = False
     max_mediator_rows: int | None = 2_000_000
     pool_size: int = 8
+    #: Degradation mode: instead of failing the whole query when an
+    #: endpoint is irrecoverable (retries exhausted, breaker open), drop
+    #: that endpoint's contribution and record it as completeness
+    #: metadata on the query metrics.  Off by default: a failed
+    #: subquery fails the query fast.
+    partial_results: bool = False
 
 
 @dataclass
@@ -85,8 +91,25 @@ class BranchScheduler:
             endpoint_names=tuple(client.federation.names()),
         )
         self.join_cost_units = 0.0
+        #: Endpoints dropped in partial-results mode; their contribution
+        #: is skipped for the rest of the branch.
+        self._dead_endpoints: set[str] = set()
 
     # ----------------------------------------------------------- plumbing
+
+    def _live(self, sources: tuple[str, ...]) -> tuple[str, ...]:
+        if not self._dead_endpoints:
+            return sources
+        return tuple(name for name in sources if name not in self._dead_endpoints)
+
+    def _drop_endpoint(self, endpoint: str, exc: NetworkError, at_ms: float) -> float:
+        """Record a partial-results drop; returns the failure's timestamp."""
+        self._dead_endpoints.add(endpoint)
+        self.client.metrics.dropped_endpoints.append(endpoint)
+        self.client.registry.inc(
+            "partial_drops_total", engine=self.client.engine, endpoint=endpoint
+        )
+        return exc.at_ms if exc.at_ms is not None else at_ms
 
     def _guard_rows(self, rows: int) -> None:
         limit = self.config.max_mediator_rows
@@ -115,8 +138,14 @@ class BranchScheduler:
             estimated_cardinality=subquery.estimated_cardinality,
             endpoints=list(subquery.sources),
         ) as span:
-            for endpoint in subquery.sources:
-                result, end = self.client.select(endpoint, query, at_ms, kind=kind)
+            for endpoint in self._live(subquery.sources):
+                try:
+                    result, end = self.client.select(endpoint, query, at_ms, kind=kind)
+                except NetworkError as exc:
+                    if not self.config.partial_results:
+                        raise
+                    finish = max(finish, self._drop_endpoint(endpoint, exc, at_ms))
+                    continue
                 finish = max(finish, end)
                 relation.rows.extend(result.rows)
             span.set(
@@ -161,10 +190,18 @@ class BranchScheduler:
                     "bound_block", t0=at_ms, block=start // block_size, bindings=len(block)
                 ) as block_span:
                     block_end = at_ms
-                    for endpoint in sources:
-                        result, end = self.client.select(
-                            endpoint, query, at_ms, kind=metrics_module.BOUND
-                        )
+                    for endpoint in self._live(sources):
+                        try:
+                            result, end = self.client.select(
+                                endpoint, query, at_ms, kind=metrics_module.BOUND
+                            )
+                        except NetworkError as exc:
+                            if not self.config.partial_results:
+                                raise
+                            dropped_at = self._drop_endpoint(endpoint, exc, at_ms)
+                            block_end = max(block_end, dropped_at)
+                            finish = max(finish, dropped_at)
+                            continue
                         block_end = max(block_end, end)
                         finish = max(finish, end)
                         relation.rows.extend(result.rows)

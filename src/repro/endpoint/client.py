@@ -6,7 +6,10 @@ the baselines) uses for remote requests.  It combines:
 * the actual endpoint evaluation (the work the remote server would do),
 * virtual-time accounting through :class:`~repro.net.VirtualNetwork`,
 * ASK / check / COUNT caching,
-* the query timeout (the paper's one-hour limit, scaled).
+* the query timeout (the paper's one-hour limit, scaled),
+* resilience against injected faults (see :mod:`repro.faults`): optional
+  per-request timeouts, retry with exponential backoff + deterministic
+  jitter, and a per-endpoint circuit breaker — all off by default.
 
 All methods take and return virtual timestamps explicitly: sequential
 code chains them, parallel fan-out feeds the same ``at`` to many calls
@@ -24,7 +27,13 @@ from __future__ import annotations
 
 from repro.endpoint.cache import EngineCaches, MISSING
 from repro.endpoint.federation import Federation
-from repro.exceptions import NetworkError, QueryTimeoutError
+from repro.exceptions import (
+    InjectedFaultError,
+    NetworkError,
+    QueryTimeoutError,
+    RequestTimeoutError,
+)
+from repro.faults.resilience import CircuitBreaker, ResiliencePolicy
 from repro.net import metrics as metrics_module
 from repro.net.metrics import QueryMetrics
 from repro.net.simulator import NetworkConfig, VirtualNetwork
@@ -72,6 +81,8 @@ class FederationClient:
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
         engine: str = "",
+        fault_plan=None,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.federation = federation
         self.config = config
@@ -81,11 +92,43 @@ class FederationClient:
         self.tracer = tracer if tracer is not None else get_default_tracer()
         self.registry = registry if registry is not None else get_default_registry()
         self.engine = engine
+        self.resilience = resilience
+        #: Per-endpoint circuit breakers (virtual time resets per query,
+        #: so breaker state is per-client by construction).
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self._retry_rng = resilience.rng(engine) if resilience is not None else None
+        injector = fault_plan.injector() if fault_plan is not None else None
         self.network = VirtualNetwork(
-            config, self.metrics, registry=self.registry, engine=engine
+            config,
+            self.metrics,
+            registry=self.registry,
+            engine=engine,
+            injector=injector,
         )
 
     # ------------------------------------------------------------ helpers
+
+    def _breaker_for(self, endpoint_name: str) -> CircuitBreaker | None:
+        policy = self.resilience
+        if policy is None or not policy.breaker_enabled:
+            return None
+        breaker = self.breakers.get(endpoint_name)
+        if breaker is None:
+            breaker = self.breakers[endpoint_name] = CircuitBreaker(
+                endpoint_name,
+                failure_threshold=policy.breaker_failure_threshold,
+                recovery_ms=policy.breaker_recovery_ms,
+            )
+        return breaker
+
+    def _note_transition(self, endpoint_name: str, transition: str | None) -> None:
+        if transition:
+            self.registry.inc(
+                "breaker_transitions_total",
+                engine=self.engine,
+                endpoint=endpoint_name,
+                transition=transition,
+            )
 
     def _issue(
         self,
@@ -100,23 +143,68 @@ class FederationClient:
         endpoint = self.federation.get(endpoint_name)
         if not endpoint.available:
             self.metrics.status = "error"
-            raise NetworkError(f"endpoint {endpoint_name} is unavailable")
-        end = self.network.request(
-            endpoint_name=endpoint_name,
-            endpoint_region=endpoint.region,
-            kind=kind,
-            ready_at_ms=at_ms,
-            result_rows=result_rows,
-            request_bytes=request_bytes,
-            response_bytes=response_bytes,
-            cached=cached,
-        )
-        if self.timeout_ms is not None and end > self.timeout_ms:
-            self.metrics.status = "timeout"
-            raise QueryTimeoutError(
-                f"virtual time budget exceeded at endpoint {endpoint_name}", elapsed_ms=end
+            raise NetworkError(
+                f"endpoint {endpoint_name} is unavailable",
+                endpoint=endpoint_name,
+                at_ms=at_ms,
             )
-        return end
+        policy = self.resilience
+        breaker = None if cached else self._breaker_for(endpoint_name)
+        request_timeout = policy.request_timeout_ms if policy is not None else None
+        attempt = 0
+        now = at_ms
+        while True:
+            if breaker is not None:
+                self._note_transition(endpoint_name, breaker.before_request(now))
+            try:
+                end = self.network.request(
+                    endpoint_name=endpoint_name,
+                    endpoint_region=endpoint.region,
+                    kind=kind,
+                    ready_at_ms=now,
+                    result_rows=result_rows,
+                    request_bytes=request_bytes,
+                    response_bytes=response_bytes,
+                    cached=cached,
+                    timeout_ms=request_timeout,
+                )
+            except (InjectedFaultError, RequestTimeoutError) as exc:
+                failed_at = exc.at_ms if exc.at_ms is not None else now
+                if breaker is not None:
+                    self._note_transition(
+                        endpoint_name, breaker.record_failure(failed_at)
+                    )
+                if policy is None or attempt >= policy.max_retries:
+                    raise
+                attempt += 1
+                delay = policy.backoff_ms(attempt, self._retry_rng)
+                self.metrics.retries += 1
+                self.registry.inc(
+                    "request_retries_total",
+                    engine=self.engine,
+                    endpoint=endpoint_name,
+                    kind=kind,
+                )
+                now = failed_at + delay
+                continue
+            if breaker is not None:
+                self._note_transition(endpoint_name, breaker.record_success(end))
+            if self.timeout_ms is not None and end > self.timeout_ms:
+                self.metrics.status = "timeout"
+                raise QueryTimeoutError(
+                    f"virtual time budget exceeded at endpoint {endpoint_name}",
+                    elapsed_ms=end,
+                    endpoint=endpoint_name,
+                )
+            return end
+
+    def _count_cache(self, kind: str, hit: bool) -> None:
+        """Mirror ProbeCache hit/miss counts into the metrics registry."""
+        self.registry.inc(
+            "probe_cache_hits_total" if hit else "probe_cache_misses_total",
+            engine=self.engine,
+            kind=kind,
+        )
 
     # ------------------------------------------------------------- probes
 
@@ -124,6 +212,8 @@ class FederationClient:
         """Source-selection ASK for one triple pattern."""
         key = (endpoint_name, pattern)
         hit = self.caches.ask.get(key)
+        if self.caches.ask.enabled:
+            self._count_cache("ask", hit is not MISSING)
         if hit is not MISSING:
             end = self._issue(endpoint_name, metrics_module.ASK, at_ms, 0, 0, cached=True)
             return bool(hit), end
@@ -140,6 +230,8 @@ class FederationClient:
         """
         key = (endpoint_name, query)
         hit = self.caches.check.get(key)
+        if self.caches.check.enabled:
+            self._count_cache("check", hit is not MISSING)
         if hit is not MISSING:
             end = self._issue(endpoint_name, metrics_module.CHECK, at_ms, 0, 0, cached=True)
             return bool(hit), end
@@ -161,6 +253,8 @@ class FederationClient:
         """SAPE per-triple-pattern COUNT statistics query."""
         key = (endpoint_name, query)
         hit = self.caches.count.get(key)
+        if self.caches.count.enabled:
+            self._count_cache("count", hit is not MISSING)
         if hit is not MISSING:
             end = self._issue(endpoint_name, metrics_module.COUNT, at_ms, 0, 0, cached=True)
             return int(hit), end  # type: ignore[arg-type]

@@ -43,11 +43,56 @@ class UnsupportedQueryError(EvaluationError):
 
 
 class NetworkError(ReproError):
-    """A simulated remote request failed."""
+    """A simulated remote request failed.
+
+    Carries the endpoint the request was addressed to and the virtual
+    timestamp at which the failure surfaced at the mediator, so callers
+    (retry loops, partial-results degradation, the chaos harness) can
+    charge elapsed virtual time and attribute the failure.
+    """
+
+    def __init__(
+        self, message: str, endpoint: str | None = None, at_ms: float | None = None
+    ):
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.at_ms = at_ms
 
 
 class UnknownEndpointError(NetworkError):
     """A request was addressed to an endpoint not in the federation."""
+
+
+class InjectedFaultError(NetworkError):
+    """A fault plan made this request fail (transient error or outage).
+
+    ``at_ms`` is the virtual time the failure surfaced — the cost of
+    the failed attempt is already charged to the endpoint's lane.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        endpoint: str | None = None,
+        at_ms: float | None = None,
+        fault: str = "transient",
+    ):
+        super().__init__(message, endpoint=endpoint, at_ms=at_ms)
+        self.fault = fault
+
+
+class RequestTimeoutError(NetworkError):
+    """A single request exceeded the client's per-request virtual budget.
+
+    Distinct from :class:`QueryTimeoutError` (the whole-query budget):
+    a timed-out request is retriable; the endpoint keeps processing it
+    (its lane stays busy) while the mediator moves on at ``at_ms``.
+    """
+
+
+class CircuitOpenError(NetworkError):
+    """A request was refused locally because the endpoint's circuit
+    breaker is open — no virtual time is charged."""
 
 
 class FederationError(ReproError):
@@ -59,11 +104,14 @@ class QueryTimeoutError(FederationError):
 
     Mirrors the paper's one-hour timeout: engines abort once simulated time
     exceeds the configured budget, and the harness reports ``TIMEOUT``.
+    ``endpoint`` names the endpoint whose request crossed the budget, when
+    the timeout surfaced on a remote request.
     """
 
-    def __init__(self, message: str, elapsed_ms: float):
+    def __init__(self, message: str, elapsed_ms: float, endpoint: str | None = None):
         super().__init__(message)
         self.elapsed_ms = elapsed_ms
+        self.endpoint = endpoint
 
 
 class MemoryLimitError(FederationError):

@@ -1,0 +1,59 @@
+"""Deterministic fault injection and resilience for the federation.
+
+Three layers (see ``docs/resilience.md``):
+
+* :mod:`repro.faults.plan` — seeded :class:`FaultPlan`\\ s (latency
+  spikes, transient errors, outages, flapping) injected into
+  :class:`~repro.net.simulator.VirtualNetwork` so every fault is
+  charged in virtual time and exactly reproducible from ``(seed, plan)``;
+* :mod:`repro.faults.resilience` — the client-side recovery policies:
+  per-request timeouts, retry with exponential backoff and
+  deterministic jitter, per-endpoint circuit breakers;
+* :mod:`repro.harness.chaos` — degradation experiments running query
+  workloads across fault profiles and engines.
+
+Everything is **off by default**: without a plan and a policy the
+engines behave bit-identically to the fault-free simulator.
+"""
+
+from repro.faults.plan import (
+    ALL_ENDPOINTS,
+    FAULT_PROFILES,
+    LATENCY_SPIKE,
+    NO_FAULT,
+    OUTAGE,
+    TRANSIENT,
+    EndpointFaults,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    fault_profile,
+)
+from repro.faults.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    ResiliencePolicy,
+    default_chaos_policy,
+)
+
+__all__ = [
+    "ALL_ENDPOINTS",
+    "CLOSED",
+    "CircuitBreaker",
+    "EndpointFaults",
+    "FAULT_PROFILES",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "HALF_OPEN",
+    "LATENCY_SPIKE",
+    "NO_FAULT",
+    "OPEN",
+    "OUTAGE",
+    "ResiliencePolicy",
+    "TRANSIENT",
+    "default_chaos_policy",
+    "fault_profile",
+]

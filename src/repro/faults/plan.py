@@ -1,0 +1,208 @@
+"""Deterministic fault plans for the virtual network.
+
+Lusail's setting is a federation of *independent* endpoints the
+mediator does not control: in any real decentralized deployment
+requests time out, endpoints restart, and transient errors happen.
+The reproduction's :class:`~repro.net.simulator.VirtualNetwork` is a
+perfect network, so this module adds the missing failure model as a
+**seeded, deterministic** overlay:
+
+* a :class:`FaultPlan` maps endpoint names (or the ``"*"`` wildcard) to
+  an :class:`EndpointFaults` spec — latency multipliers, probabilistic
+  latency spikes, transient request errors, scheduled outage windows
+  (in virtual time), and flapping (periodic up/down) behaviour;
+* a per-query :class:`FaultInjector` turns the plan into per-request
+  :class:`FaultDecision`\\ s.  Randomness is derived from
+  ``(plan.seed, endpoint, per-endpoint request counter)``, so a run is
+  exactly reproducible from ``(seed, plan)`` — two executions of the
+  same query under the same plan see byte-identical fault sequences,
+  and a different seed draws a different sequence.
+
+Every injected fault is *charged in virtual time* by the simulator (an
+outage costs a connection round trip, a transient error costs the full
+request) and surfaces as
+:class:`~repro.exceptions.InjectedFaultError`, which carries the
+endpoint name and the virtual timestamp of the failure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Wildcard key: faults applied to every endpoint without its own spec.
+ALL_ENDPOINTS = "*"
+
+#: Injected-event names (the ``fault`` label of
+#: ``faults_injected_total`` and the ``fault`` attribute of
+#: :class:`~repro.exceptions.InjectedFaultError`).
+OUTAGE = "outage"
+TRANSIENT = "transient"
+LATENCY_SPIKE = "latency_spike"
+
+
+@dataclass(frozen=True)
+class EndpointFaults:
+    """Fault spec for one endpoint (all knobs independent, all off by
+    default — a default instance injects nothing)."""
+
+    #: Scales the duration of every request (slow endpoint).
+    latency_multiplier: float = 1.0
+    #: Extra latency added with probability :attr:`spike_probability`.
+    latency_spike_ms: float = 0.0
+    spike_probability: float = 0.0
+    #: Probability that a request fails with a transient error after
+    #: the endpoint did the work (HTTP 5xx on the response).
+    error_probability: float = 0.0
+    #: Scheduled downtime: half-open ``[start_ms, end_ms)`` windows in
+    #: virtual time.  Requests *starting* inside a window fail fast.
+    outages: tuple[tuple[float, float], ...] = ()
+    #: Flapping: the endpoint repeats "up for ``flap_up_ms``, down for
+    #: ``flap_down_ms``" forever (both must be > 0 to enable).
+    flap_up_ms: float = 0.0
+    flap_down_ms: float = 0.0
+
+    def down_at(self, at_ms: float) -> bool:
+        """Is the endpoint down (outage or flap) at virtual time ``at_ms``?"""
+        for start, end in self.outages:
+            if start <= at_ms < end:
+                return True
+        if self.flap_up_ms > 0.0 and self.flap_down_ms > 0.0:
+            period = self.flap_up_ms + self.flap_down_ms
+            return (at_ms % period) >= self.flap_up_ms
+        return False
+
+    @property
+    def probabilistic(self) -> bool:
+        return self.error_probability > 0.0 or self.spike_probability > 0.0
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the injector decided for one request."""
+
+    latency_multiplier: float = 1.0
+    latency_extra_ms: float = 0.0
+    #: ``None`` (request succeeds), :data:`OUTAGE`, or :data:`TRANSIENT`.
+    fail: str | None = None
+    #: Event names to count (``faults_injected_total``).
+    events: tuple[str, ...] = ()
+
+
+#: Decision for requests the plan leaves untouched.
+NO_FAULT = FaultDecision()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded assignment of fault specs to endpoints.
+
+    ``endpoints`` maps endpoint names to specs; the :data:`ALL_ENDPOINTS`
+    wildcard applies to every endpoint without a specific entry.  The
+    plan is immutable and hashable-by-value, so ``(seed, plan)`` fully
+    identifies a chaos run.
+    """
+
+    seed: int = 0
+    endpoints: Mapping[str, EndpointFaults] = field(default_factory=dict)
+
+    def for_endpoint(self, name: str) -> EndpointFaults | None:
+        spec = self.endpoints.get(name)
+        if spec is None:
+            spec = self.endpoints.get(ALL_ENDPOINTS)
+        return spec
+
+    def injector(self) -> "FaultInjector":
+        """A fresh per-query injector (per-endpoint counters reset)."""
+        return FaultInjector(self)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for name in sorted(self.endpoints):
+            parts.append(f"{name}:{self.endpoints[name]}")
+        return " ".join(parts)
+
+
+class FaultInjector:
+    """Per-query fault source: deterministic from ``(seed, plan)``.
+
+    Each request draws from ``random.Random(f"{seed}:{endpoint}:{n}")``
+    where ``n`` is the endpoint's request counter — string seeding uses
+    a cryptographic hash, so draws are stable across processes and
+    independent of ``PYTHONHASHSEED``.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._counters: dict[str, int] = {}
+
+    def decide(self, endpoint: str, kind: str, start_ms: float) -> FaultDecision:
+        """The fault decision for a request starting at ``start_ms``."""
+        spec = self.plan.for_endpoint(endpoint)
+        if spec is None:
+            return NO_FAULT
+        index = self._counters.get(endpoint, 0)
+        self._counters[endpoint] = index + 1
+        if spec.down_at(start_ms):
+            return FaultDecision(fail=OUTAGE, events=(OUTAGE,))
+        multiplier = spec.latency_multiplier
+        extra = 0.0
+        fail = None
+        events: list[str] = []
+        if spec.probabilistic:
+            rng = random.Random(f"{self.plan.seed}:{endpoint}:{index}")
+            if spec.error_probability > 0.0 and rng.random() < spec.error_probability:
+                fail = TRANSIENT
+                events.append(TRANSIENT)
+            if spec.spike_probability > 0.0 and rng.random() < spec.spike_probability:
+                extra = spec.latency_spike_ms
+                events.append(LATENCY_SPIKE)
+        if fail is None and multiplier == 1.0 and extra == 0.0:
+            return NO_FAULT
+        return FaultDecision(
+            latency_multiplier=multiplier,
+            latency_extra_ms=extra,
+            fail=fail,
+            events=tuple(events),
+        )
+
+
+# ---------------------------------------------------------------- profiles
+
+#: Named fault profiles the chaos harness / CLI expose.  Kept mild
+#: enough that retry-enabled engines recover, severe enough that
+#: resilience-free runs visibly degrade.
+FAULT_PROFILES = ("none", "transient", "slow", "outage", "flaky", "chaos")
+
+
+def fault_profile(name: str, seed: int = 0) -> FaultPlan:
+    """A built-in named :class:`FaultPlan` (see :data:`FAULT_PROFILES`)."""
+    if name == "none":
+        return FaultPlan(seed=seed, endpoints={})
+    if name == "transient":
+        spec = EndpointFaults(error_probability=0.08)
+    elif name == "slow":
+        spec = EndpointFaults(
+            latency_multiplier=2.5, latency_spike_ms=25.0, spike_probability=0.3
+        )
+    elif name == "outage":
+        # Every endpoint down for the first 60 virtual ms: retries with
+        # backoff outlive the window, retry-free engines fail fast.
+        spec = EndpointFaults(outages=((0.0, 60.0),))
+    elif name == "flaky":
+        spec = EndpointFaults(flap_up_ms=40.0, flap_down_ms=15.0)
+    elif name == "chaos":
+        spec = EndpointFaults(
+            latency_multiplier=1.5,
+            latency_spike_ms=20.0,
+            spike_probability=0.15,
+            error_probability=0.05,
+            flap_up_ms=200.0,
+            flap_down_ms=15.0,
+        )
+    else:
+        raise ValueError(
+            f"unknown fault profile {name!r}; available: {', '.join(FAULT_PROFILES)}"
+        )
+    return FaultPlan(seed=seed, endpoints={ALL_ENDPOINTS: spec})

@@ -1,0 +1,157 @@
+"""Resilience policies for the mediator's federation client.
+
+The counterpart of :mod:`repro.faults.plan`: once the network can fail,
+the client needs principled recovery.  Three mechanisms, all expressed
+in **virtual time** and all off by default so that existing runs are
+bit-identical:
+
+* **per-request timeouts** — the mediator abandons a request whose
+  duration exceeds ``request_timeout_ms`` (the endpoint keeps working:
+  its lane stays busy until the natural completion, only the mediator
+  worker slot is freed);
+* **retry with exponential backoff** — failed requests are retried up
+  to ``max_retries`` times; the delay before attempt *k* is
+  ``base * factor**(k-1)`` capped at ``backoff_max_ms``, plus a
+  *deterministic* jitter drawn from a seeded RNG (so chaos runs stay
+  reproducible);
+* **per-endpoint circuit breaking** — the classic closed / open /
+  half-open automaton: after ``breaker_failure_threshold`` consecutive
+  failures the breaker opens and requests fail fast (zero virtual
+  time) until ``breaker_recovery_ms`` have passed, then a single
+  half-open probe decides between closing and re-opening.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import CircuitOpenError
+
+#: Circuit-breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Client-side recovery knobs (defaults keep every mechanism off).
+
+    A policy with all defaults is inert: no per-request timeout, zero
+    retries, breaker disabled — attaching it changes nothing.
+    """
+
+    #: Virtual-time budget for a single request; ``None`` disables.
+    request_timeout_ms: float | None = None
+    #: Retries *after* the first attempt (0 = fail on first error).
+    max_retries: int = 0
+    backoff_base_ms: float = 25.0
+    backoff_factor: float = 2.0
+    backoff_max_ms: float = 5_000.0
+    #: Jitter as a fraction of the backoff delay, drawn deterministically.
+    jitter_fraction: float = 0.1
+    #: Seed for the jitter RNG (per-client, keyed with the engine name).
+    seed: int = 0
+    breaker_enabled: bool = False
+    #: Consecutive failures that trip the breaker open.
+    breaker_failure_threshold: int = 5
+    #: Virtual time the breaker stays open before a half-open probe.
+    breaker_recovery_ms: float = 100.0
+
+    def backoff_ms(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry ``attempt`` (1-based), jitter included."""
+        base = min(
+            self.backoff_max_ms,
+            self.backoff_base_ms * self.backoff_factor ** max(0, attempt - 1),
+        )
+        if self.jitter_fraction > 0.0:
+            base += base * self.jitter_fraction * rng.random()
+        return base
+
+    def rng(self, engine: str) -> random.Random:
+        """The deterministic jitter RNG for one client."""
+        return random.Random(f"resilience:{self.seed}:{engine}")
+
+
+def default_chaos_policy(seed: int = 0) -> ResiliencePolicy:
+    """The policy the chaos harness enables for resilient runs."""
+    return ResiliencePolicy(
+        request_timeout_ms=10_000.0,
+        max_retries=3,
+        seed=seed,
+        breaker_enabled=True,
+    )
+
+
+class CircuitBreaker:
+    """Per-endpoint closed / open / half-open breaker in virtual time.
+
+    The virtual-time engines are single-threaded, so each request's
+    outcome is known before the next is issued and the textbook
+    automaton applies without concurrency caveats.  State transitions
+    are recorded as ``(virtual_ms, "from->to")`` pairs for reporting.
+    """
+
+    def __init__(self, endpoint: str, failure_threshold: int, recovery_ms: float):
+        self.endpoint = endpoint
+        self.failure_threshold = max(1, failure_threshold)
+        self.recovery_ms = recovery_ms
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.open_until_ms = 0.0
+        self.transitions: list[tuple[float, str]] = []
+
+    # ------------------------------------------------------------- protocol
+
+    def before_request(self, at_ms: float) -> str | None:
+        """Gate a request at ``at_ms``.
+
+        Raises :class:`CircuitOpenError` (fail fast, no virtual time
+        charged) while open; moves to half-open once the recovery window
+        has passed.  Returns the transition label, if any.
+        """
+        if self.state == OPEN:
+            if at_ms < self.open_until_ms:
+                raise CircuitOpenError(
+                    f"circuit breaker open for endpoint {self.endpoint} "
+                    f"until t={self.open_until_ms:.1f}ms",
+                    endpoint=self.endpoint,
+                    at_ms=at_ms,
+                )
+            return self._transition(HALF_OPEN, at_ms)
+        return None
+
+    def record_failure(self, at_ms: float) -> str | None:
+        """A request failed at ``at_ms``; returns the transition, if any."""
+        if self.state == HALF_OPEN:
+            self.open_until_ms = at_ms + self.recovery_ms
+            return self._transition(OPEN, at_ms)
+        self.consecutive_failures += 1
+        if self.state == CLOSED and self.consecutive_failures >= self.failure_threshold:
+            self.open_until_ms = at_ms + self.recovery_ms
+            return self._transition(OPEN, at_ms)
+        return None
+
+    def record_success(self, at_ms: float) -> str | None:
+        """A request succeeded at ``at_ms``; returns the transition, if any."""
+        self.consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            return self._transition(CLOSED, at_ms)
+        return None
+
+    # -------------------------------------------------------------- helpers
+
+    def _transition(self, new_state: str, at_ms: float) -> str:
+        label = f"{self.state}->{new_state}"
+        self.state = new_state
+        if new_state != OPEN:
+            self.consecutive_failures = 0
+        self.transitions.append((at_ms, label))
+        return label
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.endpoint!r}, state={self.state}, "
+            f"failures={self.consecutive_failures})"
+        )

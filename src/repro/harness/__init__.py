@@ -1,5 +1,12 @@
 """Experiment harness: per-figure experiment functions, runner, reporting."""
 
+from repro.harness.chaos import (
+    BASELINE_PROFILE,
+    ChaosReport,
+    ChaosRun,
+    resolve_profiles,
+    run_chaos,
+)
 from repro.harness.reporting import (
     format_table,
     print_banner,
@@ -17,10 +24,15 @@ from repro.harness.runner import (
 )
 
 __all__ = [
+    "BASELINE_PROFILE",
+    "ChaosReport",
+    "ChaosRun",
     "DEFAULT_TIMEOUT_MS",
     "ENGINE_ORDER",
     "RunResult",
     "format_table",
+    "resolve_profiles",
+    "run_chaos",
     "make_engines",
     "print_banner",
     "results_by_query",

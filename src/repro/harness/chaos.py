@@ -1,0 +1,250 @@
+"""Chaos experiments: engine robustness under injected faults.
+
+The degradation counterpart of the paper's response-time experiments:
+run a query workload across **fault profiles × engines** and measure
+robustness the same way we measure speed — per-engine success rate,
+request failures and retries, circuit-breaker activity, completeness of
+partial results, and the virtual-time overhead faults add relative to
+the fault-free baseline.
+
+Every run is deterministic: the fault sequence derives from
+``(fault_seed, profile)`` and retry jitter from the resilience policy's
+seed, so a chaos experiment is exactly reproducible (and its traces are
+byte-identical across repeats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.engine import LusailConfig
+from repro.endpoint.federation import Federation
+from repro.faults.plan import FaultPlan, fault_profile
+from repro.faults.resilience import ResiliencePolicy
+from repro.harness.reporting import format_table
+from repro.harness.runner import DEFAULT_TIMEOUT_MS, make_engines
+from repro.net.simulator import NetworkConfig
+from repro.obs.registry import MetricsRegistry
+
+#: Baseline profile name: no injector attached at all.
+BASELINE_PROFILE = "none"
+
+
+@dataclass
+class ChaosRun:
+    """One (engine, fault profile, query) execution."""
+
+    engine: str
+    profile: str
+    query: str
+    status: str
+    complete: bool
+    virtual_ms: float
+    requests: int
+    failed_requests: int
+    retries: int
+    dropped_endpoints: int
+    result_rows: int
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "profile": self.profile,
+            "query": self.query,
+            "status": self.status,
+            "complete": self.complete,
+            "virtual_ms": round(self.virtual_ms, 6),
+            "requests": self.requests,
+            "failed_requests": self.failed_requests,
+            "retries": self.retries,
+            "dropped_endpoints": self.dropped_endpoints,
+            "result_rows": self.result_rows,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Per-query rows plus the per-(engine, profile) rollup."""
+
+    runs: list[ChaosRun] = field(default_factory=list)
+    summary: list[dict] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "runs": [run.to_dict() for run in self.runs],
+            "summary": self.summary,
+        }
+
+    def format_runs(self) -> str:
+        headers = [
+            "engine", "profile", "query", "status", "complete",
+            "virtual_ms", "reqs", "failed", "retries", "rows",
+        ]
+        rows = [
+            [
+                run.engine, run.profile, run.query, run.status,
+                "yes" if run.complete else "PARTIAL",
+                f"{run.virtual_ms:.1f}", run.requests, run.failed_requests,
+                run.retries, run.result_rows,
+            ]
+            for run in self.runs
+        ]
+        return format_table(headers, rows)
+
+    def format_summary(self) -> str:
+        headers = [
+            "engine", "profile", "queries", "ok", "success_rate", "retries",
+            "failed_reqs", "faults", "breaker_opens", "breaker_closes",
+            "partial", "overhead_x",
+        ]
+        rows = []
+        for entry in self.summary:
+            overhead = entry["virtual_overhead_x"]
+            rows.append(
+                [
+                    entry["engine"], entry["profile"], entry["queries"],
+                    entry["ok"], f"{entry['success_rate']:.2f}",
+                    entry["retries"], entry["failed_requests"],
+                    entry["faults_injected"], entry["breaker_opens"],
+                    entry["breaker_closes"], entry["partial"],
+                    "-" if overhead is None else f"{overhead:.2f}",
+                ]
+            )
+        return format_table(headers, rows)
+
+
+def resolve_profiles(
+    profiles: Sequence[str] | Mapping[str, FaultPlan | None],
+    fault_seed: int = 0,
+) -> dict[str, FaultPlan | None]:
+    """Normalize profile names / custom plans into ``{name: plan}``.
+
+    The :data:`BASELINE_PROFILE` maps to ``None`` (no injector at all),
+    and is moved first so overheads are computed against it.
+    """
+    if isinstance(profiles, Mapping):
+        named = dict(profiles)
+    else:
+        named = {
+            name: None if name == BASELINE_PROFILE else fault_profile(name, seed=fault_seed)
+            for name in profiles
+        }
+    ordered: dict[str, FaultPlan | None] = {}
+    if BASELINE_PROFILE in named:
+        ordered[BASELINE_PROFILE] = named.pop(BASELINE_PROFILE)
+    ordered.update(named)
+    return ordered
+
+
+def run_chaos(
+    federation: Federation,
+    queries: dict[str, str],
+    profiles: Sequence[str] | Mapping[str, FaultPlan | None] = (
+        BASELINE_PROFILE,
+        "transient",
+    ),
+    which: Sequence[str] = ("Lusail", "FedX"),
+    resilience: ResiliencePolicy | None = None,
+    partial_results: bool = False,
+    network_config: NetworkConfig | None = None,
+    timeout_ms: float = DEFAULT_TIMEOUT_MS,
+    fault_seed: int = 0,
+) -> ChaosReport:
+    """Run the workload across fault profiles × engines.
+
+    Each (engine, profile) pair gets fresh engines (cold caches) and an
+    isolated metrics registry, so fault/retry/breaker counters in the
+    summary belong to exactly that cell.  ``resilience`` applies to
+    every engine; ``partial_results`` only affects Lusail (its
+    scheduler implements the degradation path).
+    """
+    plans = resolve_profiles(profiles, fault_seed=fault_seed)
+    report = ChaosReport()
+    baseline_ms: dict[tuple[str, str], float] = {}
+
+    for profile_name, plan in plans.items():
+        for engine_name in which:
+            registry = MetricsRegistry()
+            engines = make_engines(
+                federation,
+                network_config=network_config,
+                which=(engine_name,),
+                timeout_ms=timeout_ms,
+                lusail_config=LusailConfig(partial_results=partial_results),
+                registry=registry,
+                fault_plan=plan,
+                resilience=resilience,
+            )
+            engine = engines[engine_name]
+            ok = 0
+            retries = 0
+            failed_requests = 0
+            partial = 0
+            total_ms = 0.0
+            overheads: list[float] = []
+            for query_name, query_text in queries.items():
+                outcome = engine.execute(query_text)
+                metrics = outcome.metrics
+                run = ChaosRun(
+                    engine=engine_name,
+                    profile=profile_name,
+                    query=query_name,
+                    status=outcome.status,
+                    complete=outcome.complete,
+                    virtual_ms=metrics.virtual_ms,
+                    requests=metrics.request_count(),
+                    failed_requests=metrics.failed_request_count(),
+                    retries=metrics.retries,
+                    dropped_endpoints=len(set(metrics.dropped_endpoints)),
+                    result_rows=len(outcome.result),
+                )
+                report.runs.append(run)
+                retries += run.retries
+                failed_requests += run.failed_requests
+                if not run.complete:
+                    partial += 1
+                if outcome.ok:
+                    ok += 1
+                    total_ms += run.virtual_ms
+                    key = (engine_name, query_name)
+                    if profile_name == BASELINE_PROFILE:
+                        baseline_ms[key] = run.virtual_ms
+                    elif key in baseline_ms and baseline_ms[key] > 0.0:
+                        overheads.append(run.virtual_ms / baseline_ms[key])
+            overhead = (
+                sum(overheads) / len(overheads)
+                if overheads
+                else (1.0 if profile_name == BASELINE_PROFILE and ok else None)
+            )
+            report.summary.append(
+                {
+                    "engine": engine_name,
+                    "profile": profile_name,
+                    "queries": len(queries),
+                    "ok": ok,
+                    "success_rate": ok / len(queries) if queries else 0.0,
+                    "retries": retries,
+                    "failed_requests": failed_requests,
+                    "partial": partial,
+                    "faults_injected": int(
+                        registry.counter_value("faults_injected_total")
+                    ),
+                    "breaker_opens": int(
+                        registry.counter_value(
+                            "breaker_transitions_total", transition="closed->open"
+                        )
+                        + registry.counter_value(
+                            "breaker_transitions_total", transition="half_open->open"
+                        )
+                    ),
+                    "breaker_closes": int(
+                        registry.counter_value(
+                            "breaker_transitions_total", transition="half_open->closed"
+                        )
+                    ),
+                    "total_ok_virtual_ms": round(total_ms, 6),
+                    "virtual_overhead_x": overhead,
+                }
+            )
+    return report

@@ -38,12 +38,16 @@ def make_engines(
     lusail_config: LusailConfig | None = None,
     tracer: Tracer | None = None,
     registry: MetricsRegistry | None = None,
+    fault_plan=None,
+    resilience=None,
 ) -> dict[str, FederatedEngine]:
     """Instantiate the requested engines against one federation.
 
     ``tracer``/``registry`` override the process-wide observability
     sinks for every created engine (profiling runs pass fresh,
-    isolated instances here).
+    isolated instances here).  ``fault_plan``/``resilience`` attach a
+    chaos fault plan and a client recovery policy (see
+    :mod:`repro.faults`) to every created engine.
     """
     factories: dict[str, Callable[[], FederatedEngine]] = {
         "Lusail": lambda: LusailEngine(
@@ -68,6 +72,10 @@ def make_engines(
             engine.tracer = tracer
         if registry is not None:
             engine.registry = registry
+        if fault_plan is not None:
+            engine.fault_plan = fault_plan
+        if resilience is not None:
+            engine.resilience = resilience
     return engines
 
 

@@ -39,10 +39,17 @@ class RequestRecord:
     request_bytes: int
     response_bytes: int
     cached: bool = False
+    #: ``ok`` | ``error`` (injected fault) | ``timeout`` (per-request
+    #: budget).  Failed attempts ship no rows but are still requests.
+    status: str = "ok"
 
     @property
     def duration_ms(self) -> float:
         return self.end_ms - self.start_ms
+
+    @property
+    def failed(self) -> bool:
+        return self.status != "ok"
 
 
 @dataclass
@@ -56,9 +63,19 @@ class QueryMetrics:
     mediator_rows: int = 0
     result_rows: int = 0
     status: str = "ok"
+    #: Request retries the resilience layer performed.
+    retries: int = 0
+    #: Endpoints whose contribution was dropped in partial-results mode
+    #: (completeness metadata; duplicates collapsed by the property below).
+    dropped_endpoints: list[str] = field(default_factory=list)
 
     def record(self, record: RequestRecord) -> None:
         self.records.append(record)
+
+    @property
+    def complete(self) -> bool:
+        """False when partial-results degradation dropped any endpoint."""
+        return not self.dropped_endpoints
 
     # ------------------------------------------------------------ queries
 
@@ -82,6 +99,10 @@ class QueryMetrics:
     def request_count(self, *kinds: str, include_cached: bool = False) -> int:
         """Number of remote requests, optionally filtered by kind."""
         return sum(1 for __ in self.iter_records(*kinds, include_cached=include_cached))
+
+    def failed_request_count(self, *kinds: str) -> int:
+        """Requests that failed (injected fault or per-request timeout)."""
+        return sum(1 for record in self.iter_records(*kinds) if record.failed)
 
     def requests_by_kind(self, include_cached: bool = False) -> Counter:
         return Counter(
@@ -143,6 +164,8 @@ class QueryMetrics:
         self.wall_ms += other.wall_ms
         self.mediator_rows = max(self.mediator_rows, other.mediator_rows)
         self.result_rows += other.result_rows
+        self.retries += other.retries
+        self.dropped_endpoints.extend(other.dropped_endpoints)
         for phase, duration in other.phase_ms.items():
             self.add_phase(phase, duration)
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.exceptions import InjectedFaultError, RequestTimeoutError
 from repro.net import regions as regions_module
 from repro.net.metrics import QueryMetrics, RequestRecord
 
@@ -83,6 +84,13 @@ class VirtualNetwork:
     feeds the shared per-endpoint counters (labeled by engine and
     request kind) — purely additive accounting that never affects
     virtual time.
+
+    An optional :class:`~repro.faults.plan.FaultInjector` makes the
+    network imperfect: injected latency stretches request durations,
+    and injected failures (transient errors, outages) surface as
+    :class:`~repro.exceptions.InjectedFaultError` *after* the failed
+    attempt's cost has been charged to the endpoint's lane.  Without an
+    injector the request path is byte-for-byte the fault-free model.
     """
 
     def __init__(
@@ -91,11 +99,13 @@ class VirtualNetwork:
         metrics: QueryMetrics,
         registry=None,
         engine: str = "",
+        injector=None,
     ):
         self.config = config
         self.metrics = metrics
         self.registry = registry
         self.engine = engine
+        self.injector = injector
         self._lane_free_ms: dict[str, float] = {}
         self._slot_free_ms: list[float] = [0.0] * max(1, config.mediator_slots)
 
@@ -109,6 +119,7 @@ class VirtualNetwork:
         request_bytes: int,
         response_bytes: int | None = None,
         cached: bool = False,
+        timeout_ms: float | None = None,
     ) -> float:
         """Schedule one remote request; returns its completion time (ms).
 
@@ -116,6 +127,14 @@ class VirtualNetwork:
         request starts once the endpoint's lane is free (thread-per-
         endpoint serialization) and costs RTT + evaluation + transfer.
         Cache hits complete instantly and are recorded but not charged.
+
+        ``timeout_ms`` bounds a single request's duration: past it the
+        mediator abandons the request (``RequestTimeoutError``), freeing
+        its worker slot while the endpoint's lane stays busy until the
+        natural completion.  An attached fault injector may stretch the
+        duration or fail the request (``InjectedFaultError``); failed
+        attempts are recorded with ``rows=0`` and their virtual cost
+        charged.
         """
         if cached:
             self.metrics.record(
@@ -156,8 +175,36 @@ class VirtualNetwork:
             + result_rows * (config.eval_row_ms + config.row_transfer_ms)
             + (request_bytes + response_bytes) * config.byte_transfer_ms
         )
+
+        fault = None
+        if self.injector is not None:
+            decision = self.injector.decide(endpoint_name, kind, start)
+            if decision.fail == "outage":
+                # Connection refused: one round trip, no evaluation.
+                fault = decision.fail
+                duration = config.rtt(endpoint_region) + config.request_overhead_ms
+            else:
+                fault = decision.fail
+                duration = duration * decision.latency_multiplier + decision.latency_extra_ms
+            if decision.events and self.registry is not None:
+                for event in decision.events:
+                    self.registry.inc(
+                        "faults_injected_total",
+                        engine=self.engine,
+                        endpoint=endpoint_name,
+                        fault=event,
+                    )
+
+        status = "ok" if fault is None else "error"
         end = start + duration
-        self._lane_free_ms[endpoint_name] = end
+        lane_end = end
+        if timeout_ms is not None and duration > timeout_ms:
+            # The mediator gives up first: its worker slot frees at the
+            # timeout, but the endpoint keeps processing the request.
+            status = "timeout"
+            end = start + timeout_ms
+        failed = status != "ok"
+        self._lane_free_ms[endpoint_name] = lane_end
         self._slot_free_ms[slot_index] = end
         self.metrics.record(
             RequestRecord(
@@ -165,18 +212,38 @@ class VirtualNetwork:
                 endpoint=endpoint_name,
                 start_ms=start,
                 end_ms=end,
-                rows=result_rows,
+                rows=0 if failed else result_rows,
                 request_bytes=request_bytes,
-                response_bytes=response_bytes,
+                response_bytes=0 if failed else response_bytes,
+                status=status,
             )
         )
         if self.registry is not None:
             registry = self.registry
             labels = {"engine": self.engine, "endpoint": endpoint_name, "kind": kind}
             registry.inc("requests_total", **labels)
-            registry.inc("rows_shipped_total", result_rows, **labels)
-            registry.inc("bytes_shipped_total", request_bytes + response_bytes, **labels)
-            registry.observe("request_virtual_ms", duration, endpoint=endpoint_name, kind=kind)
+            if failed:
+                registry.inc("requests_failed_total", status=status, **labels)
+            else:
+                registry.inc("rows_shipped_total", result_rows, **labels)
+                registry.inc("bytes_shipped_total", request_bytes + response_bytes, **labels)
+            registry.observe(
+                "request_virtual_ms", end - start, endpoint=endpoint_name, kind=kind
+            )
+        if status == "timeout":
+            raise RequestTimeoutError(
+                f"request to endpoint {endpoint_name} exceeded "
+                f"{timeout_ms:.1f}ms at t={end:.1f}ms",
+                endpoint=endpoint_name,
+                at_ms=end,
+            )
+        if failed:
+            raise InjectedFaultError(
+                f"injected {fault} fault at endpoint {endpoint_name} (t={end:.1f}ms)",
+                endpoint=endpoint_name,
+                at_ms=end,
+                fault=fault,
+            )
         return end
 
     def lane_free_at(self, endpoint_name: str) -> float:

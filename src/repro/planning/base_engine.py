@@ -52,6 +52,11 @@ class ExecutionOutcome:
     def ok(self) -> bool:
         return self.status == "ok"
 
+    @property
+    def complete(self) -> bool:
+        """False when partial-results mode dropped any endpoint."""
+        return self.metrics.complete
+
     def __repr__(self) -> str:
         return (
             f"ExecutionOutcome(status={self.status!r}, rows={len(self.result)}, "
@@ -93,6 +98,12 @@ class FederatedEngine:
         #: assignable after construction for per-run isolation.
         self.tracer = tracer if tracer is not None else get_default_tracer()
         self.registry = registry if registry is not None else get_default_registry()
+        #: Fault injection / resilience (see repro.faults).  Both are
+        #: assignable after construction, like the observability sinks,
+        #: and None by default: the engine then behaves bit-identically
+        #: to the fault-free simulator.
+        self.fault_plan = None
+        self.resilience = None
 
     # ------------------------------------------------------------- public
 
@@ -114,6 +125,8 @@ class FederatedEngine:
             tracer=self.tracer,
             registry=self.registry,
             engine=self.name,
+            fault_plan=self.fault_plan,
+            resilience=self.resilience,
         )
         wall_start = time.perf_counter()
         with self.tracer.span("query", t0=0.0, engine=self.name) as root:

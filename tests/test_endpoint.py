@@ -156,6 +156,18 @@ class TestFederationClient:
             client.select("ep1", query, 0.0)
         assert client.metrics.status == "timeout"
 
+    def test_timeout_charges_elapsed_virtual_time(self, federation):
+        client = self.make_client(federation, timeout=0.5)
+        query = bgp_query([TriplePattern(Variable("s"), iri("p"), Variable("o"))])
+        with pytest.raises(QueryTimeoutError) as excinfo:
+            client.select("ep1", query, 0.0)
+        exc = excinfo.value
+        assert exc.endpoint == "ep1"
+        # The budget check happens after the request completes, so the
+        # elapsed time is the request's natural end, past the budget.
+        assert exc.elapsed_ms == client.metrics.records[-1].end_ms
+        assert exc.elapsed_ms > 0.5
+
     def test_unknown_endpoint(self, federation):
         client = self.make_client(federation)
         with pytest.raises(UnknownEndpointError):

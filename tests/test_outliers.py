@@ -1,0 +1,44 @@
+"""Tests for Chauvenet outlier rejection (core/execution/outliers.py)."""
+
+from repro.core.execution.outliers import chauvenet_outliers, robust_stats
+
+
+class TestChauvenetOutliers:
+    def test_fewer_than_three_samples_never_rejected(self):
+        assert chauvenet_outliers([]) == set()
+        assert chauvenet_outliers([5.0]) == set()
+        assert chauvenet_outliers([1.0, 1_000_000.0]) == set()
+
+    def test_all_equal_cardinalities(self):
+        assert chauvenet_outliers([7.0] * 10) == set()
+
+    def test_single_extreme_outlier_rejected(self):
+        values = [10.0, 11.0, 9.0, 10.5, 9.5, 1_000_000.0]
+        assert chauvenet_outliers(values) == {5}
+
+    def test_tight_cluster_keeps_everything(self):
+        assert chauvenet_outliers([10.0, 11.0, 9.0, 10.5, 9.5]) == set()
+
+
+class TestRobustStats:
+    def test_empty_values(self):
+        stats = robust_stats([])
+        assert stats.mean == 0.0 and stats.std == 0.0 and not stats.outliers
+
+    def test_all_equal_values(self):
+        stats = robust_stats([4.0, 4.0, 4.0, 4.0])
+        assert stats.mean == 4.0
+        assert stats.std == 0.0
+        assert stats.outliers == frozenset()
+
+    def test_outlier_excluded_from_mean(self):
+        values = [10.0, 11.0, 9.0, 10.5, 9.5, 1_000_000.0]
+        stats = robust_stats(values)
+        assert stats.outliers == frozenset({5})
+        assert stats.mean == sum(values[:5]) / 5
+
+    def test_rejection_can_be_disabled(self):
+        values = [10.0, 11.0, 9.0, 10.5, 9.5, 1_000_000.0]
+        stats = robust_stats(values, use_chauvenet=False)
+        assert stats.outliers == frozenset()
+        assert stats.mean > 1000.0
