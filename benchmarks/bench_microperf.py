@@ -14,10 +14,26 @@ identical algorithms, differing only in representation:
                         subquery shape): encoded evaluator vs reference
                         extension from seeded term solutions.
 
-Emits ``BENCH_micro.json``.  Run from the repo root:
+Plus the **columnar join suite** (emitted to ``BENCH_join.json``), which
+times the column-major kernel runtime against the preserved row-based
+relation runtime (:class:`repro.relational.reference.RowRelation` — the
+pre-columnar implementation) on identical encoded data:
+
+* ``mediator_join``     — the same advisor ⋈ takesCourse workload shape
+                          as the ``BENCH_micro.json`` bench of the same
+                          name, columnar kernels vs row runtime;
+* ``mediator_join_big`` — a high-fanout self-join (takesCourse ⋈
+                          takesCourse on the student);
+* ``bound_join_blocks`` — the mediator-side block pipeline of a bound
+                          join: slice bindings into blocks, join each
+                          block, union the results.
+
+Emits ``BENCH_micro.json`` and ``BENCH_join.json``.  Run from the repo
+root:
 
     PYTHONPATH=src python benchmarks/bench_microperf.py
     PYTHONPATH=src python benchmarks/bench_microperf.py --smoke --out /tmp/b.json
+    PYTHONPATH=src python benchmarks/bench_microperf.py --gate --join-out /tmp/j.json
 """
 
 from __future__ import annotations
@@ -32,6 +48,7 @@ from collections import Counter
 from repro.datasets import lubm
 from repro.rdf.terms import Variable
 from repro.rdf.triple import TriplePattern
+from repro.relational.reference import RowRelation
 from repro.relational.relation import Relation
 from repro.sparql.ast import BGP, SelectQuery
 from repro.sparql.evaluator import _Evaluator, evaluate_select
@@ -209,49 +226,186 @@ def bench_values_subquery(
     }
 
 
+UB = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+
+
+def _subquery_rows(encoded: TripleStore, predicate: str) -> list:
+    query = parse_query(f"SELECT ?x ?y WHERE {{ ?x <{UB}{predicate}> ?y . }}")
+    return list(evaluate_select(encoded, query).rows)
+
+
+def _compare_runtimes(run_row, run_columnar, iterations: int, **extra) -> dict:
+    """Time row-based (before) vs columnar (after); assert bag equality."""
+    row_bag = Counter(tuple(r) for r in run_row().rows)
+    columnar_bag = Counter(tuple(r) for r in run_columnar().rows)
+    assert row_bag == columnar_bag, "columnar and row runtimes diverge"
+
+    before = _time(run_row, iterations)
+    after = _time(run_columnar, iterations)
+    return {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after if after else float("inf"),
+        **extra,
+    }
+
+
+def bench_columnar_mediator_join(encoded: TripleStore, iterations: int) -> dict:
+    # Same workload shape as BENCH_micro.json's mediator_join: join the
+    # advisor and takesCourse subquery results on the shared student.
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    left_rows = _subquery_rows(encoded, "advisor")
+    right_rows = _subquery_rows(encoded, "takesCourse")
+
+    columnar_left = Relation((x, y), left_rows)
+    columnar_right = Relation((x, z), right_rows)
+    row_left = RowRelation((x, y), left_rows)
+    row_right = RowRelation((x, z), right_rows)
+
+    return _compare_runtimes(
+        lambda: row_left.join(row_right),
+        lambda: columnar_left.join(columnar_right),
+        iterations,
+        left_rows=len(left_rows),
+        right_rows=len(right_rows),
+        joined_rows=len(columnar_left.join(columnar_right)),
+    )
+
+
+def bench_columnar_join_big(encoded: TripleStore, iterations: int) -> dict:
+    # High-fanout self-join: every pair of courses per student.
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    rows = _subquery_rows(encoded, "takesCourse")
+
+    columnar_left = Relation((x, y), rows)
+    columnar_right = Relation((x, z), rows)
+    row_left = RowRelation((x, y), rows)
+    row_right = RowRelation((x, z), rows)
+
+    return _compare_runtimes(
+        lambda: row_left.join(row_right),
+        lambda: columnar_left.join(columnar_right),
+        iterations,
+        input_rows=len(rows),
+        joined_rows=len(columnar_left.join(columnar_right)),
+    )
+
+
+def bench_bound_join_blocks(
+    encoded: TripleStore, iterations: int, block_size: int = 100
+) -> dict:
+    # The mediator-side half of a block bound join: the found bindings
+    # are sliced into blocks; each block's (already fetched) result is
+    # joined in and the per-block results unioned.
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    seed_rows = _subquery_rows(encoded, "advisor")
+    result_rows = _subquery_rows(encoded, "takesCourse")
+
+    columnar_seed = Relation((x, y), seed_rows)
+    columnar_result = Relation((x, z), result_rows)
+    row_seed = RowRelation((x, y), seed_rows)
+    row_result = RowRelation((x, z), result_rows)
+
+    def run_columnar():
+        acc = None
+        for start in range(0, len(columnar_seed), block_size):
+            block = columnar_seed.limit(block_size, offset=start)
+            joined = block.join(columnar_result)
+            acc = joined if acc is None else acc.union(joined)
+        return acc if acc is not None else Relation((x, y, z))
+
+    def run_row():
+        acc = None
+        for start in range(0, len(row_seed), block_size):
+            block = RowRelation._from_ids(
+                row_seed.vars, row_seed.ids[start:start + block_size]
+            )
+            joined = block.join(row_result)
+            acc = joined if acc is None else acc.union(joined)
+        return acc if acc is not None else RowRelation((x, y, z))
+
+    return _compare_runtimes(
+        run_row,
+        run_columnar,
+        iterations,
+        bindings=len(seed_rows),
+        block_size=block_size,
+        blocks=-(-len(seed_rows) // block_size) if seed_rows else 0,
+        joined_rows=len(run_columnar()),
+    )
+
+
+def run_join_suite(encoded: TripleStore, iterations: int) -> dict:
+    benches = {}
+    benches["mediator_join"] = bench_columnar_mediator_join(encoded, iterations)
+    print(f"join: mediator_join: {benches['mediator_join']['speedup']:.2f}x")
+    benches["mediator_join_big"] = bench_columnar_join_big(encoded, iterations)
+    print(f"join: mediator_join_big: {benches['mediator_join_big']['speedup']:.2f}x")
+    benches["bound_join_blocks"] = bench_bound_join_blocks(encoded, iterations)
+    print(f"join: bound_join_blocks: {benches['bound_join_blocks']['speedup']:.2f}x")
+    return benches
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--universities", type=int, default=4)
     parser.add_argument("--iterations", type=int, default=5)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--out", default="BENCH_micro.json")
+    parser.add_argument("--join-out", default="BENCH_join.json")
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny scale, one iteration; checks plumbing, not performance",
     )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="columnar join suite only, for the check.sh regression gate",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.universities = 1
         args.iterations = 1
+    if args.gate:
+        args.iterations = 3
 
     encoded, reference = build_stores(args.universities, args.seed)
     print(f"stores built: {len(encoded)} triples, {len(encoded.dictionary)} dictionary terms")
 
-    benches = {}
-    benches["bgp_join"] = bench_bgp_join(encoded, reference, args.iterations)
-    print(f"bgp_join: {benches['bgp_join']['speedup']:.2f}x")
-    benches["mediator_join"] = bench_mediator_join(encoded, args.iterations)
-    print(f"mediator_join: {benches['mediator_join']['speedup']:.2f}x")
-    benches["values_subquery"] = bench_values_subquery(encoded, reference, args.iterations)
-    print(f"values_subquery: {benches['values_subquery']['speedup']:.2f}x")
-
-    report = {
-        "meta": {
-            "universities": args.universities,
-            "iterations": args.iterations,
-            "seed": args.seed,
-            "triples": len(encoded),
-            "dictionary_terms": len(encoded.dictionary),
-            "python": platform.python_version(),
-            "smoke": args.smoke,
-        },
-        "benches": benches,
+    meta = {
+        "universities": args.universities,
+        "iterations": args.iterations,
+        "seed": args.seed,
+        "triples": len(encoded),
+        "dictionary_terms": len(encoded.dictionary),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
     }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2)
+
+    if not args.gate:
+        benches = {}
+        benches["bgp_join"] = bench_bgp_join(encoded, reference, args.iterations)
+        print(f"bgp_join: {benches['bgp_join']['speedup']:.2f}x")
+        benches["mediator_join"] = bench_mediator_join(encoded, args.iterations)
+        print(f"mediator_join: {benches['mediator_join']['speedup']:.2f}x")
+        benches["values_subquery"] = bench_values_subquery(encoded, reference, args.iterations)
+        print(f"values_subquery: {benches['values_subquery']['speedup']:.2f}x")
+
+        report = {"meta": dict(meta), "benches": benches}
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+
+    join_report = {
+        "meta": dict(meta),
+        "benches": run_join_suite(encoded, args.iterations),
+    }
+    with open(args.join_out, "w") as handle:
+        json.dump(join_report, handle, indent=2)
         handle.write("\n")
-    print(f"wrote {args.out}")
+    print(f"wrote {args.join_out}")
     return 0
 
 

@@ -6,6 +6,11 @@
    runs at tiny scale and emits a well-formed BENCH_micro.json (each
    bench internally asserts encoded results equal the term-space
    reference results, so this also cross-checks correctness).
+3. Columnar join regression gate: ``bench_microperf.py --gate`` re-runs
+   the columnar join suite at the committed BENCH_join.json's scale and
+   fails if any bench's columnar-vs-row speedup falls below an absolute
+   floor or drops far below the checked-in baseline.  Speedups are
+   in-run ratios on identical data, so the gate is machine-tolerant.
 """
 
 from __future__ import annotations
@@ -41,29 +46,84 @@ def check_dictionary_round_trip() -> None:
 def check_microbench_smoke() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         out = Path(tmp) / "BENCH_micro.json"
+        join_out = Path(tmp) / "BENCH_join.json"
         subprocess.run(
-            [sys.executable, "benchmarks/bench_microperf.py", "--smoke", "--out", str(out)],
+            [
+                sys.executable, "benchmarks/bench_microperf.py", "--smoke",
+                "--out", str(out), "--join-out", str(join_out),
+            ],
             cwd=REPO,
             check=True,
             env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
         )
         report = json.loads(out.read_text())
+        join_report = json.loads(join_out.read_text())
     assert set(report) == {"meta", "benches"}, f"unexpected keys: {set(report)}"
     expected = {"bgp_join", "mediator_join", "values_subquery"}
     assert set(report["benches"]) == expected, f"missing benches: {report['benches']}"
-    for name, bench in report["benches"].items():
-        for field in ("before_s", "after_s", "speedup"):
-            value = bench.get(field)
-            assert isinstance(value, (int, float)) and value > 0, (
-                f"{name}.{field} malformed: {value!r}"
-            )
-    print("microbench smoke ok (BENCH_micro.json well-formed)")
+    join_expected = {"mediator_join", "mediator_join_big", "bound_join_blocks"}
+    assert set(join_report["benches"]) == join_expected, (
+        f"missing join benches: {join_report['benches']}"
+    )
+    for benches in (report["benches"], join_report["benches"]):
+        for name, bench in benches.items():
+            for field in ("before_s", "after_s", "speedup"):
+                value = bench.get(field)
+                assert isinstance(value, (int, float)) and value > 0, (
+                    f"{name}.{field} malformed: {value!r}"
+                )
+    print("microbench smoke ok (BENCH_micro.json / BENCH_join.json well-formed)")
+
+
+#: Absolute speedup floors for the columnar join suite.  mediator_join's
+#: 2.0 is the PR acceptance criterion: the columnar kernels must stay at
+#: least twice as fast as the preserved row runtime on that workload.
+_GATE_FLOORS = {
+    "mediator_join": 2.0,
+    "mediator_join_big": 2.0,
+    "bound_join_blocks": 1.5,
+}
+#: A gate run may be this much slower (relative) than the committed
+#: baseline before it counts as a regression; in-run speedup ratios are
+#: stable, so most genuine regressions blow straight through this.
+_GATE_TOLERANCE = 0.35
+
+
+def check_join_regression() -> None:
+    baseline_path = REPO / "BENCH_join.json"
+    assert baseline_path.exists(), "BENCH_join.json baseline missing from repo root"
+    baseline = json.loads(baseline_path.read_text())["benches"]
+    with tempfile.TemporaryDirectory() as tmp:
+        join_out = Path(tmp) / "BENCH_join.json"
+        subprocess.run(
+            [
+                sys.executable, "benchmarks/bench_microperf.py", "--gate",
+                "--join-out", str(join_out),
+            ],
+            cwd=REPO,
+            check=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        gate = json.loads(join_out.read_text())["benches"]
+    assert set(gate) == set(_GATE_FLOORS), f"gate benches changed: {set(gate)}"
+    for name, floor in _GATE_FLOORS.items():
+        speedup = gate[name]["speedup"]
+        required = floor
+        base = baseline.get(name, {}).get("speedup")
+        if base:
+            required = max(required, base * _GATE_TOLERANCE)
+        assert speedup >= required, (
+            f"join perf regression: {name} speedup {speedup:.2f}x fell below "
+            f"{required:.2f}x (baseline {base and f'{base:.2f}x'}, floor {floor}x)"
+        )
+        print(f"join gate: {name} {speedup:.2f}x >= {required:.2f}x ok")
 
 
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
     check_dictionary_round_trip()
     check_microbench_smoke()
+    check_join_regression()
     return 0
 
 

@@ -91,10 +91,11 @@ class AnapsidEngine(FederatedEngine):
     ) -> tuple[Relation, float]:
         union_relation: Relation | None = None
         end_ms = 0.0
-        for branch in normalized.branches:
-            relation, branch_end = self._execute_branch(client, branch, normalized)
-            end_ms = max(end_ms, branch_end)
-            union_relation = relation if union_relation is None else union_relation.union(relation)
+        with self._mediator_runtime(client, self.config.max_mediator_rows):
+            for branch in normalized.branches:
+                relation, branch_end = self._execute_branch(client, branch, normalized)
+                end_ms = max(end_ms, branch_end)
+                union_relation = relation if union_relation is None else union_relation.union(relation)
         assert union_relation is not None
         return union_relation, end_ms
 

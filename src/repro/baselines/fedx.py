@@ -69,10 +69,11 @@ class FedXEngine(FederatedEngine):
     ) -> tuple[Relation, float]:
         union_relation: Relation | None = None
         end_ms = 0.0
-        for branch in normalized.branches:
-            relation, branch_end = self._execute_branch(client, branch, normalized)
-            end_ms = max(end_ms, branch_end)
-            union_relation = relation if union_relation is None else union_relation.union(relation)
+        with self._mediator_runtime(client, self.config.max_mediator_rows):
+            for branch in normalized.branches:
+                relation, branch_end = self._execute_branch(client, branch, normalized)
+                end_ms = max(end_ms, branch_end)
+                union_relation = relation if union_relation is None else union_relation.union(relation)
         assert union_relation is not None
         return union_relation, end_ms
 
@@ -204,9 +205,8 @@ class FedXEngine(FederatedEngine):
         final: Relation | None = None
         chunk_size = max(self.config.block_size, 1)
         for start in range(0, len(seed.rows), chunk_size):
-            piped = Relation(
-                seed.vars, seed.rows[start:start + chunk_size], seed.partitions
-            )
+            # Columnar slice: no decode/re-encode of the chunk's rows.
+            piped = seed.limit(chunk_size, offset=start)
             for operand in ordered[1:]:
                 operand_projection = tuple(
                     sorted(operand.variables() & projection, key=lambda v: v.name)

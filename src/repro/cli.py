@@ -177,6 +177,21 @@ def _probe_cache_line(registry: MetricsRegistry) -> str:
     return "probe caches (hits/lookups): " + ", ".join(parts)
 
 
+def _kernel_line(registry: MetricsRegistry) -> str:
+    """One-line summary of columnar mediator join-kernel work."""
+    fast = int(registry.counter_value("mediator_kernel_fast_dispatches_total"))
+    general = int(registry.counter_value("mediator_kernel_general_dispatches_total"))
+    emitted = int(registry.counter_value("mediator_kernel_rows_emitted_total"))
+    if not (fast or general or emitted):
+        return ""
+    build = int(registry.counter_value("mediator_kernel_build_rows_total"))
+    probe = int(registry.counter_value("mediator_kernel_probe_rows_total"))
+    return (
+        f"mediator join kernels: {fast} fast / {general} general dispatches, "
+        f"{build} build rows, {probe} probe rows, {emitted} rows emitted"
+    )
+
+
 def cmd_profile(args) -> int:
     """Run one query with tracing enabled and print the span tree."""
     federation = _build_federation(args)
@@ -202,6 +217,9 @@ def cmd_profile(args) -> int:
     cache_line = _probe_cache_line(registry)
     if cache_line:
         print(cache_line)
+    kernel_line = _kernel_line(registry)
+    if kernel_line:
+        print(kernel_line)
     print(
         f"status: {outcome.status}; {len(outcome.result)} rows, "
         f"{metrics.request_count()} requests "

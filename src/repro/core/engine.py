@@ -29,7 +29,11 @@ from repro.core.execution.cost_model import (
     collect_statistics,
     decide_delays,
 )
-from repro.core.execution.scheduler import BranchScheduler, SchedulerConfig
+from repro.core.execution.scheduler import (
+    BranchScheduler,
+    SchedulerConfig,
+    adaptive_block_size,
+)
 from repro.endpoint.cache import EngineCaches
 from repro.endpoint.client import FederationClient
 from repro.endpoint.federation import Federation
@@ -55,6 +59,10 @@ class LusailConfig:
     use_chauvenet: bool = True
     enable_delay: bool = True
     block_size: int = 500
+    #: Adaptive bound-join blocks: each delayed subquery's block shrinks
+    #: with its COUNT-estimated rows-per-binding, never below min_block.
+    min_block: int = 50
+    adaptive_block_size: bool = True
     pool_size: int = 8
     refine_sources: bool = True
     greedy_join_order: bool = False
@@ -76,6 +84,8 @@ class LusailConfig:
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
             block_size=self.block_size,
+            min_block=self.min_block,
+            adaptive_block_size=self.adaptive_block_size,
             refine_sources=self.refine_sources,
             greedy_join_order=self.greedy_join_order,
             max_mediator_rows=self.max_mediator_rows,
@@ -137,14 +147,17 @@ class LusailEngine(FederatedEngine):
         union_relation: Relation | None = None
         end_ms = 0.0
         phase_maxima: dict[str, float] = {}
-        for branch in normalized.branches:
-            relation, branch_end, phases = self._execute_branch(
-                client, branch, normalized, plan_info
-            )
-            end_ms = max(end_ms, branch_end)
-            for phase, duration in phases.items():
-                phase_maxima[phase] = max(phase_maxima.get(phase, 0.0), duration)
-            union_relation = relation if union_relation is None else union_relation.union(relation)
+        # Branch schedulers install their own kernel runtime; this outer
+        # one covers the cross-branch UNIONs with the same row limit.
+        with self._mediator_runtime(client, self.config.max_mediator_rows):
+            for branch in normalized.branches:
+                relation, branch_end, phases = self._execute_branch(
+                    client, branch, normalized, plan_info
+                )
+                end_ms = max(end_ms, branch_end)
+                for phase, duration in phases.items():
+                    phase_maxima[phase] = max(phase_maxima.get(phase, 0.0), duration)
+                union_relation = relation if union_relation is None else union_relation.union(relation)
         assert union_relation is not None  # normalize() guarantees >= 1 branch
         # Branches execute concurrently: the phase profile is the maximum
         # across branches, not the sum.
@@ -248,9 +261,13 @@ class LusailEngine(FederatedEngine):
                 )
                 outcome = scheduler.run(now)
                 now = outcome.end_ms + self.mediator.row_ms * outcome.join_cost_units
+                counters = scheduler.kernel_counters
                 span.set(
                     rows=len(outcome.relation),
                     join_cost_units=outcome.join_cost_units,
+                    kernel_fast=counters.fast_dispatches,
+                    kernel_general=counters.general_dispatches,
+                    kernel_rows_emitted=counters.rows_emitted,
                 ).end(now)
             phases["execution"] = now - execution_start
             client.metrics.mediator_rows = max(
@@ -428,6 +445,41 @@ class LusailEngine(FederatedEngine):
         needed |= {variable for variable, count in seen.items() if count >= 2}
         return needed
 
+    def _explain_block_size(self, subquery, plan, decision) -> str:
+        """Planned bound-join block size line for one delayed subquery.
+
+        At compile time the binding count is unknown; it is approximated
+        by the smallest estimated cardinality among the eager subqueries
+        sharing a variable — the component the bindings will come from.
+        """
+        if not self.config.adaptive_block_size:
+            return f"bound-join block size: {self.config.block_size} (fixed)"
+        cardinality = decision.cardinalities.get(
+            subquery.id, subquery.estimated_cardinality
+        )
+        shared_cards = [
+            decision.cardinalities.get(other.id, other.estimated_cardinality)
+            for other in plan.subqueries
+            if not other.delayed
+            and other.optional_group is None
+            and other.variables() & subquery.variables()
+        ]
+        if not shared_cards:
+            return (
+                f"bound-join block size: {self.config.block_size} "
+                "(adaptive, no connected eager bindings estimate)"
+            )
+        bindings = max(1, int(min(shared_cards)))
+        planned = adaptive_block_size(
+            self.config.block_size, self.config.min_block, cardinality, bindings
+        )
+        return (
+            f"bound-join block size: {planned} "
+            f"(adaptive, est. {cardinality / bindings:.1f} rows/binding, "
+            f"clamp [{min(self.config.min_block, self.config.block_size)}, "
+            f"{self.config.block_size}])"
+        )
+
     def explain(self, query) -> str:
         """Compile-time plan report: sources, GJVs, subqueries, delays.
 
@@ -498,6 +550,10 @@ class LusailEngine(FederatedEngine):
                     f"{', chauvenet-rejected' if subquery.id in rejected else ''}] "
                     f"sources={list(subquery.sources)}"
                 )
+                if subquery.delayed:
+                    lines.append(
+                        "    " + self._explain_block_size(subquery, plan, decision)
+                    )
                 for pattern in subquery.patterns:
                     lines.append(f"    {pattern.n3()}")
                 for expression in subquery.filters:

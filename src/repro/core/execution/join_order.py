@@ -21,6 +21,7 @@ from itertools import combinations
 from typing import Sequence
 
 from repro.rdf.terms import Variable
+from repro.relational import kernels
 from repro.relational.relation import Relation
 
 
@@ -196,18 +197,16 @@ def _greedy_plan(leaves: list[JoinPlanNode], var_sets: list[set[Variable]]) -> J
 def execute_plan(
     root: JoinPlanNode, relations: Sequence[Relation]
 ) -> tuple[Relation, float]:
-    """Execute a join plan; returns the result and the modeled cost.
+    """Execute a join plan; returns the result and the measured cost.
 
     The returned cost is the paper's JoinCost accumulated over the tree
-    with *actual* intermediate sizes, which the engine converts to
-    virtual milliseconds.
+    from the kernels' *measured* build/probe row counts, which the
+    engine converts to virtual milliseconds.
     """
     if root.is_leaf():
         return relations[root.base_index], 0.0  # type: ignore[index]
     assert root.left is not None and root.right is not None
     left_rel, left_cost = execute_plan(root.left, relations)
     right_rel, right_cost = execute_plan(root.right, relations)
-    build, probe = (left_rel, right_rel) if len(left_rel) <= len(right_rel) else (right_rel, left_rel)
-    cost = len(build) / max(1, build.partitions) + len(probe) / max(1, probe.partitions)
     joined = left_rel.join(right_rel)
-    return joined, left_cost + right_cost + cost
+    return joined, left_cost + right_cost + kernels.last_join_cost()

@@ -32,8 +32,29 @@ from repro.net.simulator import MediatorCostModel
 from repro.planning.source_selection import refine_sources_with_bindings
 from repro.rdf.terms import Term, Variable
 from repro.rdf.triple import TriplePattern
+from repro.relational import kernels
 from repro.relational.filters import make_filter_predicate
+from repro.relational.kernels import KernelCounters, kernel_runtime
 from repro.relational.relation import Relation
+
+
+def adaptive_block_size(
+    block_size: int, min_block: int, estimated_rows: float, bindings: int
+) -> int:
+    """Bound-join block size scaled by estimated rows per binding.
+
+    Selective delayed subqueries (at most one row back per shipped
+    binding) keep the full block; unselective ones shrink the block so
+    one VALUES request does not ship ``block_size * rows_per_binding``
+    rows back at once, clamped to ``[min_block, block_size]``.
+    """
+    if bindings <= 0:
+        return block_size
+    rows_per_binding = estimated_rows / bindings
+    if rows_per_binding <= 1.0:
+        return block_size
+    floor = max(1, min(min_block, block_size))
+    return max(floor, min(block_size, int(block_size / rows_per_binding)))
 
 
 @dataclass
@@ -41,6 +62,11 @@ class SchedulerConfig:
     """Tunable execution knobs (defaults follow the paper)."""
 
     block_size: int = 500
+    #: Smallest block the adaptive bound join may shrink to.
+    min_block: int = 50
+    #: Scale each delayed subquery's block size by its COUNT-estimated
+    #: rows-per-binding (see :func:`adaptive_block_size`).
+    adaptive_block_size: bool = True
     refine_sources: bool = True
     greedy_join_order: bool = False
     max_mediator_rows: int | None = 2_000_000
@@ -91,6 +117,9 @@ class BranchScheduler:
             endpoint_names=tuple(client.federation.names()),
         )
         self.join_cost_units = 0.0
+        #: Columnar-kernel work counters for this branch, flushed to the
+        #: metrics registry when :meth:`run` finishes.
+        self.kernel_counters = KernelCounters()
         #: Endpoints dropped in partial-results mode; their contribution
         #: is skipped for the rest of the branch.
         self._dead_endpoints: set[str] = set()
@@ -171,6 +200,13 @@ class BranchScheduler:
         relation = Relation(projection, partitions=1)
         finish = at_ms
         block_size = self.config.block_size
+        if self.config.adaptive_block_size:
+            block_size = adaptive_block_size(
+                self.config.block_size,
+                self.config.min_block,
+                subquery.estimated_cardinality,
+                len(binding_rows),
+            )
         tracer = self.client.tracer
         metrics = self.client.metrics
         with tracer.span(
@@ -178,6 +214,7 @@ class BranchScheduler:
             t0=at_ms,
             subquery=subquery.id,
             bindings=len(binding_rows),
+            block_size=block_size,
             estimated_cardinality=subquery.estimated_cardinality,
             endpoints=list(sources),
         ) as subquery_span:
@@ -232,22 +269,24 @@ class BranchScheduler:
         connected = [c for c in components if c.variables & vars]
         merged_relation = relation
         merged_vars = set(vars)
+        counters = self.kernel_counters
+        fast_before = counters.fast_dispatches
+        general_before = counters.general_dispatches
         with self.client.tracer.span(
             "mediator_join", t0=at_ms, inputs=len(connected) + 1
         ) as span:
             for component in connected:
-                build, probe = (
-                    (component.relation, merged_relation)
-                    if len(component.relation) <= len(merged_relation)
-                    else (merged_relation, component.relation)
-                )
-                self.join_cost_units += len(build) / max(1, build.partitions) + len(probe) / max(
-                    1, probe.partitions
-                )
                 merged_relation = component.relation.join(merged_relation)
+                # Charge the paper's JoinCost from the kernel's measured
+                # build/probe row counts, not a pre-join estimate.
+                self.join_cost_units += kernels.last_join_cost()
                 merged_vars |= component.variables
                 components.remove(component)
-            span.set(rows=len(merged_relation)).end(at_ms)
+            span.set(
+                rows=len(merged_relation),
+                kernel_fast=counters.fast_dispatches - fast_before,
+                kernel_general=counters.general_dispatches - general_before,
+            ).end(at_ms)
         self.client.registry.inc(
             "mediator_join_rows_total", len(merged_relation), engine=self.client.engine
         )
@@ -286,6 +325,28 @@ class BranchScheduler:
     # ------------------------------------------------------------- phases
 
     def run(self, at_ms: float) -> BranchOutcome:
+        """Execute the branch with the columnar kernel runtime installed.
+
+        The runtime streams ``max_mediator_rows`` through the kernels (a
+        too-large join aborts mid-probe) and collects kernel counters,
+        which are flushed to the metrics registry when the branch ends —
+        whether it succeeded, overflowed or failed.
+        """
+        flushed = dict(self.kernel_counters.items())
+        try:
+            with kernel_runtime(
+                max_rows=self.config.max_mediator_rows,
+                counters=self.kernel_counters,
+                metrics=self.client.metrics,
+            ):
+                return self._run(at_ms)
+        finally:
+            for name, value in self.kernel_counters.items():
+                delta = value - flushed[name]
+                if delta:
+                    self.client.registry.inc(name, delta, engine=self.client.engine)
+
+    def _run(self, at_ms: float) -> BranchOutcome:
         required = self.plan.required_subqueries()
         optional_groups = self.plan.optional_groups()
         tracer = self.client.tracer
@@ -496,15 +557,16 @@ class BranchScheduler:
             if group_relation is None:
                 group_relation = relation
             else:
-                self.join_cost_units += len(relation) / max(1, relation.partitions)
                 group_relation = group_relation.join(relation)
+                self.join_cost_units += kernels.last_join_cost()
             self._guard_rows(len(group_relation))
         if group_relation is None:
             return base, now
         for expression in self.plan.optional_residue.get(group_id, ()):
             group_relation = group_relation.filter(make_filter_predicate(expression))
-        self.join_cost_units += len(group_relation) / max(1, group_relation.partitions)
-        return base.left_join(group_relation), now
+        joined = base.left_join(group_relation)
+        self.join_cost_units += kernels.last_join_cost()
+        return joined, now
 
     def _apply_residue(self, relation: Relation) -> Relation:
         for expression in self.plan.residue_filters:

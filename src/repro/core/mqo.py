@@ -60,9 +60,13 @@ class _SharingScheduler(BranchScheduler):
             cached = cache.relations.get(cache.key(subquery))
             if cached is not None and set(projection) <= set(cached.vars):
                 # The relation is already on the mediator: no remote
-                # requests, no added virtual time.  Re-project in case
-                # this query needs fewer columns than the cached fetch.
+                # requests, no added virtual time.
                 cache.hits += 1
+                if tuple(projection) == cached.vars:
+                    # Same schema: share the cached columns outright —
+                    # relational operators never mutate their inputs.
+                    return cached, at_ms
+                # Narrower need: re-project (a per-column copy).
                 reused = cached.project(projection)
                 reused.partitions = cached.partitions
                 return reused, at_ms

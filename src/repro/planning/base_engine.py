@@ -11,6 +11,7 @@ plots).
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.endpoint.cache import EngineCaches
@@ -29,6 +30,7 @@ from repro.obs.registry import MetricsRegistry, get_default_registry
 from repro.obs.trace import Tracer, get_default_tracer
 from repro.planning.normalize import NormalizedQuery, normalize
 from repro.rdf.terms import Variable
+from repro.relational.kernels import KernelCounters, kernel_runtime
 from repro.relational.relation import Relation
 from repro.sparql.ast import SelectQuery, VarExpr
 from repro.sparql.evaluator import SelectResult
@@ -171,6 +173,26 @@ class FederatedEngine:
         return outcome
 
     # ----------------------------------------------------------- template
+
+    @contextmanager
+    def _mediator_runtime(self, client: FederationClient, max_rows: int | None):
+        """Install the columnar kernel runtime for one query execution.
+
+        Joins/unions stream ``max_rows`` inside the kernels (aborting
+        mid-join with :class:`MemoryLimitError`, status ``oom``) and the
+        kernel work counters are flushed to the metrics registry under
+        this engine's label when the execution ends.
+        """
+        counters = KernelCounters()
+        try:
+            with kernel_runtime(
+                max_rows=max_rows, counters=counters, metrics=client.metrics
+            ):
+                yield counters
+        finally:
+            for name, value in counters.items():
+                if value:
+                    self.registry.inc(name, value, engine=self.name)
 
     def _execute_normalized(
         self, client: FederationClient, normalized: NormalizedQuery

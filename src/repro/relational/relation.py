@@ -1,21 +1,29 @@
-"""Mediator-side relations over SPARQL solution sets, dictionary-encoded.
+"""Mediator-side relations over SPARQL solution sets, columnar and
+dictionary-encoded.
 
 Each subquery result the mediator receives becomes a :class:`Relation`:
-a variable schema plus rows of terms, annotated with how many worker
+a variable schema plus solution rows, annotated with how many worker
 threads (partitions) hold it — the quantity the paper's join cost model
-divides by.  Joins use in-memory hash joins on the shared variables, with
-SPARQL compatibility semantics (an unbound variable is compatible with
-anything), exactly what the paper's join evaluation stage does.
+divides by.  Joins use in-memory hash joins on the shared variables,
+with SPARQL compatibility semantics (an unbound variable is compatible
+with anything), exactly what the paper's join evaluation stage does.
 
-Rows are **id-backed**: every relation encodes its rows through one
-process-wide :class:`~repro.store.dictionary.TermDictionary` (the
-*mediator codec*, shared across all relations so results from different
-endpoints stay comparable).  Hash joins, DISTINCT, projections and
-``column_values`` therefore compare dense ints instead of term objects.
+Storage is **column-major and id-backed**: a relation holds one list of
+dense ints per variable (``None`` marking unbound positions), encoded
+through one process-wide :class:`~repro.store.dictionary.TermDictionary`
+(the *mediator codec*, shared across all relations so results from
+different endpoints stay comparable).  The relational operators dispatch
+to the columnar kernels in :mod:`repro.relational.kernels`: a fast path
+when every join-key column is fully bound, a general compatibility-merge
+path only when a key column actually contains ``None``, and a streaming
+``max_mediator_rows`` guard enforced *inside* the kernels.
+
 The :class:`RowStore` wrapper keeps the external contract unchanged:
 iterating, indexing or comparing ``relation.rows`` yields plain term
 tuples, and ``extend``/``append`` accept them — encode on the way in,
-decode on the way out.
+decode on the way out.  The pre-columnar row runtime survives as
+:class:`repro.relational.reference.RowRelation`, the property-test
+oracle and benchmark baseline.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.rdf.terms import Term, Variable
+from repro.relational import kernels
 from repro.sparql.evaluator import SelectResult
 from repro.store.dictionary import TermDictionary
 
@@ -41,47 +50,79 @@ def mediator_codec() -> TermDictionary:
 
 
 class RowStore:
-    """List-like row container holding encoded (int id) rows.
+    """List-like row facade over column-major encoded storage.
 
     External access decodes: iteration, indexing, slicing and equality
     all speak term tuples, so engine code and tests that treat
-    ``relation.rows`` as a list of term rows keep working.  The encoded
-    rows (``ids``) are what the relational operators consume.
+    ``relation.rows`` as a list of term rows keep working.  Internally
+    the store is one id column per schema position (``columns``) plus an
+    explicit ``length`` (columns cannot carry the row count of a
+    zero-width relation such as the join identity).
     """
 
-    __slots__ = ("codec", "ids")
+    __slots__ = ("codec", "columns", "length")
 
-    def __init__(self, codec: TermDictionary | None = None, ids: list[Row] | None = None):
+    def __init__(self, codec: TermDictionary | None = None, width: int = 0):
         self.codec = codec if codec is not None else _MEDIATOR_CODEC
-        self.ids: list[Row] = ids if ids is not None else []
+        self.columns: list[list] = [[] for __ in range(width)]
+        self.length = 0
 
     # ------------------------------------------------------------- encode
 
     def append(self, row: Sequence[Term | None]) -> None:
-        self.ids.append(self.codec.encode_row(row))
+        encode = self.codec.encode
+        for column, term in zip(self.columns, row):
+            column.append(None if term is None else encode(term))
+        self.length += 1
 
     def extend(self, rows: Iterable[Sequence[Term | None]]) -> None:
         if isinstance(rows, RowStore) and rows.codec is self.codec:
-            self.ids.extend(rows.ids)
+            for column, other_column in zip(self.columns, rows.columns):
+                column.extend(other_column)
+            self.length += rows.length
             return
-        encode_row = self.codec.encode_row
-        self.ids.extend(encode_row(row) for row in rows)
+        encode = self.codec.encode
+        columns = self.columns
+        if not columns:
+            self.length += sum(1 for __ in rows)
+            return
+        count = 0
+        for row in rows:
+            for column, term in zip(columns, row):
+                column.append(None if term is None else encode(term))
+            count += 1
+        self.length += count
 
     # ------------------------------------------------------------- decode
 
+    def iter_ids(self) -> Iterator[Row]:
+        """Encoded row tuples (ids / None), zipped from the columns."""
+        if not self.columns:
+            return (() for __ in range(self.length))
+        return zip(*self.columns)
+
     def __len__(self) -> int:
-        return len(self.ids)
+        return self.length
 
     def __iter__(self) -> Iterator[Row]:
         decode_row = self.codec.decode_row
-        for row in self.ids:
+        for row in self.iter_ids():
             yield decode_row(row)
 
     def __getitem__(self, index):
         if isinstance(index, slice):
             decode_row = self.codec.decode_row
-            return [decode_row(row) for row in self.ids[index]]
-        return self.codec.decode_row(self.ids[index])
+            if not self.columns:
+                return [() for __ in range(*index.indices(self.length))]
+            return [
+                decode_row(row)
+                for row in zip(*(column[index] for column in self.columns))
+            ]
+        if not self.columns:
+            if not -self.length <= index < self.length:
+                raise IndexError(index)
+            return ()
+        return self.codec.decode_row(tuple(column[index] for column in self.columns))
 
     def __contains__(self, row: Row) -> bool:
         return any(decoded == tuple(row) for decoded in self)
@@ -89,14 +130,14 @@ class RowStore:
     def __eq__(self, other: object) -> bool:
         if isinstance(other, RowStore):
             if other.codec is self.codec:
-                return self.ids == other.ids
+                return self.length == other.length and self.columns == other.columns
             return list(self) == list(other)
         if isinstance(other, (list, tuple)):
             return list(self) == [tuple(row) for row in other]
         return NotImplemented
 
     def __repr__(self) -> str:
-        return f"RowStore(rows={len(self.ids)})"
+        return f"RowStore(rows={self.length}, columns={len(self.columns)})"
 
 
 class Relation:
@@ -107,25 +148,37 @@ class Relation:
     def __init__(self, vars: Sequence[Variable], rows: Iterable[Row] = (), partitions: int = 1):
         self.vars = tuple(vars)
         if isinstance(rows, RowStore):
-            self.rows = RowStore(rows.codec, list(rows.ids))
+            store = RowStore(rows.codec, len(self.vars))
+            store.extend(rows)
+            self.rows = store
         else:
-            self.rows = RowStore()
+            self.rows = RowStore(width=len(self.vars))
             self.rows.extend(rows)
         self.partitions = max(1, partitions)
 
     @classmethod
-    def _from_ids(
-        cls, vars: Sequence[Variable], id_rows: list[Row], partitions: int = 1
+    def _from_columns(
+        cls,
+        vars: Sequence[Variable],
+        columns: list[list],
+        length: int,
+        partitions: int = 1,
     ) -> "Relation":
-        """Internal fast path: adopt already-encoded rows."""
+        """Internal fast path: adopt already-encoded columns."""
         relation = cls(vars, (), partitions)
-        relation.rows.ids = id_rows
+        relation.rows.columns = columns
+        relation.rows.length = length
         return relation
+
+    #: Columnar view consumed by the kernels.
+    @property
+    def columns(self) -> list[list]:
+        return self.rows.columns
 
     # ------------------------------------------------------------- basics
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self.rows.length
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self.rows)
@@ -140,7 +193,7 @@ class Relation:
     @classmethod
     def unit(cls) -> "Relation":
         """The join identity: one empty row over no variables."""
-        return cls._from_ids((), [()])
+        return cls._from_columns((), [], 1)
 
     def to_result(self) -> SelectResult:
         return SelectResult(self.vars, list(self.rows))
@@ -155,191 +208,83 @@ class Relation:
 
     def column_values(self, variable: Variable) -> set[Term]:
         """Distinct bound values of one variable (deduplicated on ids)."""
-        index = self.vars.index(variable)
-        distinct_ids = {row[index] for row in self.rows.ids}
+        distinct_ids = set(self.columns[self.vars.index(variable)])
         distinct_ids.discard(None)
         decode = self.rows.codec.decode
         return {decode(value) for value in distinct_ids}
 
     # -------------------------------------------------------------- joins
 
+    def _out_vars(self, other: "Relation") -> tuple[Variable, ...]:
+        return self.vars + tuple(v for v in other.vars if v not in set(self.vars))
+
     def join(self, other: "Relation") -> "Relation":
         """Natural (inner) hash join on the shared variables.
 
         With no shared variables this is a cross product — the federated
         engines only request that for genuinely disconnected subqueries.
-        All key hashing and compatibility checks compare ids.
+        Dispatches to the columnar kernels: the fully-bound fast path
+        unless a key column contains ``None``.
         """
-        shared = self.shared_vars(other)
-        out_vars = self.vars + tuple(v for v in other.vars if v not in set(self.vars))
-        if not shared:
-            rows = [
-                _merge_rows(self.vars, left, other.vars, right, out_vars)
-                for left in self.rows.ids
-                for right in other.rows.ids
-            ]
-            return Relation._from_ids(
-                out_vars, rows, partitions=max(self.partitions, other.partitions)
-            )
-
-        build, probe = (self, other) if len(self) <= len(other) else (other, self)
-        table, wildcard_rows = _build_hash_table(build, shared)
-        rows: list[Row] = []
-        probe_key_indexes = [probe.vars.index(var) for var in shared]
-        for probe_row in probe.rows.ids:
-            key = tuple(probe_row[i] for i in probe_key_indexes)
-            if None in key:
-                # Unbound join key: compatible with every build row.
-                candidates: Iterable[Row] = build.rows.ids
-            else:
-                candidates = list(table.get(key, ())) + wildcard_rows
-            for build_row in candidates:
-                merged = _merge_compatible(
-                    build.vars, build_row, probe.vars, probe_row, out_vars
-                )
-                if merged is not None:
-                    rows.append(merged)
-        return Relation._from_ids(
-            out_vars, rows, partitions=max(self.partitions, other.partitions)
+        out_vars = self._out_vars(other)
+        columns, length = kernels.join(self, other, self.shared_vars(other), out_vars)
+        return Relation._from_columns(
+            out_vars, columns, length, partitions=max(self.partitions, other.partitions)
         )
 
     def left_join(self, other: "Relation") -> "Relation":
         """SPARQL OPTIONAL semantics: keep left rows with no match."""
-        shared = self.shared_vars(other)
-        out_vars = self.vars + tuple(v for v in other.vars if v not in set(self.vars))
-        rows: list[Row] = []
-        if not shared:
-            if not other.rows.ids:
-                pad = (None,) * (len(out_vars) - len(self.vars))
-                rows = [row + pad for row in self.rows.ids]
-            else:
-                rows = [
-                    _merge_rows(self.vars, left, other.vars, right, out_vars)
-                    for left in self.rows.ids
-                    for right in other.rows.ids
-                ]
-            return Relation._from_ids(out_vars, rows, partitions=self.partitions)
-
-        table, wildcard_rows = _build_hash_table(other, shared)
-        left_key_indexes = [self.vars.index(var) for var in shared]
-        pad = (None,) * (len(out_vars) - len(self.vars))
-        for left_row in self.rows.ids:
-            key = tuple(left_row[i] for i in left_key_indexes)
-            if None in key:
-                candidates: Iterable[Row] = other.rows.ids
-            else:
-                candidates = list(table.get(key, ())) + wildcard_rows
-            matched = False
-            for right_row in candidates:
-                merged = _merge_compatible(
-                    self.vars, left_row, other.vars, right_row, out_vars
-                )
-                if merged is not None:
-                    rows.append(merged)
-                    matched = True
-            if not matched:
-                rows.append(left_row + pad)
-        return Relation._from_ids(out_vars, rows, partitions=self.partitions)
+        out_vars = self._out_vars(other)
+        columns, length = kernels.left_join(
+            self, other, self.shared_vars(other), out_vars
+        )
+        return Relation._from_columns(
+            out_vars, columns, length, partitions=self.partitions
+        )
 
     # ------------------------------------------------------------ algebra
 
     def union(self, other: "Relation") -> "Relation":
         """Multiset union, aligning schemas (missing vars become unbound)."""
-        out_vars = self.vars + tuple(v for v in other.vars if v not in set(self.vars))
-        rows = [_align_row(self.vars, row, out_vars) for row in self.rows.ids]
-        rows.extend(_align_row(other.vars, row, out_vars) for row in other.rows.ids)
-        return Relation._from_ids(
-            out_vars, rows, partitions=max(self.partitions, other.partitions)
+        out_vars = self._out_vars(other)
+        columns, length = kernels.union(self, other, out_vars)
+        return Relation._from_columns(
+            out_vars, columns, length, partitions=max(self.partitions, other.partitions)
         )
 
     def project(self, variables: Sequence[Variable]) -> "Relation":
-        indexes = [self.vars.index(var) if var in self.vars else None for var in variables]
-        rows = [
-            tuple(row[i] if i is not None else None for i in indexes)
-            for row in self.rows.ids
-        ]
-        return Relation._from_ids(variables, rows, partitions=self.partitions)
+        columns, length = kernels.project(self, variables)
+        return Relation._from_columns(
+            tuple(variables), columns, length, partitions=self.partitions
+        )
 
     def distinct(self) -> "Relation":
-        seen: set[Row] = set()
-        rows: list[Row] = []
-        for row in self.rows.ids:
-            if row not in seen:
-                seen.add(row)
-                rows.append(row)
-        return Relation._from_ids(self.vars, rows, partitions=self.partitions)
+        columns, length = kernels.distinct(self)
+        return Relation._from_columns(
+            self.vars, columns, length, partitions=self.partitions
+        )
 
     def filter(self, predicate: Callable[[dict[Variable, Term]], bool]) -> "Relation":
         """Keep rows whose (term-level) solution satisfies ``predicate``."""
-        rows = []
+        keep: list[int] = []
         decode_row = self.rows.codec.decode_row
-        for row in self.rows.ids:
+        vars = self.vars
+        for index, row in enumerate(self.rows.iter_ids()):
             decoded = decode_row(row)
             solution = {
-                var: value for var, value in zip(self.vars, decoded) if value is not None
+                var: value for var, value in zip(vars, decoded) if value is not None
             }
             if predicate(solution):
-                rows.append(row)
-        return Relation._from_ids(self.vars, rows, partitions=self.partitions)
+                keep.append(index)
+        columns = [[column[i] for i in keep] for column in self.columns]
+        return Relation._from_columns(
+            self.vars, columns, len(keep), partitions=self.partitions
+        )
 
     def limit(self, limit: int | None, offset: int = 0) -> "Relation":
-        rows = self.rows.ids[offset:]
-        if limit is not None:
-            rows = rows[:limit]
-        return Relation._from_ids(self.vars, rows, partitions=self.partitions)
-
-
-# --------------------------------------------------------------- internals
-# All helpers below operate on *encoded* rows: values are ids or None, so
-# every equality is an int comparison.
-
-
-def _build_hash_table(relation: Relation, shared: tuple[Variable, ...]):
-    """Hash rows by join key; rows with unbound key values go to a side list."""
-    key_indexes = [relation.vars.index(var) for var in shared]
-    table: dict[tuple, list[Row]] = {}
-    wildcard_rows: list[Row] = []
-    for row in relation.rows.ids:
-        key = tuple(row[i] for i in key_indexes)
-        if None in key:
-            wildcard_rows.append(row)
-        else:
-            table.setdefault(key, []).append(row)
-    return table, wildcard_rows
-
-
-def _merge_compatible(
-    left_vars: tuple[Variable, ...],
-    left_row: Row,
-    right_vars: tuple[Variable, ...],
-    right_row: Row,
-    out_vars: tuple[Variable, ...],
-) -> Row | None:
-    """Merge two encoded rows if compatible on every shared variable."""
-    merged: dict[Variable, int | None] = dict(zip(left_vars, left_row))
-    for var, value in zip(right_vars, right_row):
-        existing = merged.get(var)
-        if existing is None:
-            merged[var] = value
-        elif value is not None and existing != value:
-            return None
-    return tuple(merged.get(var) for var in out_vars)
-
-
-def _merge_rows(
-    left_vars: tuple[Variable, ...],
-    left_row: Row,
-    right_vars: tuple[Variable, ...],
-    right_row: Row,
-    out_vars: tuple[Variable, ...],
-) -> Row:
-    merged: dict[Variable, int | None] = dict(zip(left_vars, left_row))
-    for var, value in zip(right_vars, right_row):
-        if merged.get(var) is None:
-            merged[var] = value
-    return tuple(merged.get(var) for var in out_vars)
-
-
-def _align_row(vars: tuple[Variable, ...], row: Row, out_vars: tuple[Variable, ...]) -> Row:
-    mapping = dict(zip(vars, row))
-    return tuple(mapping.get(var) for var in out_vars)
+        stop = None if limit is None else offset + limit
+        columns = [column[offset:stop] for column in self.columns]
+        length = len(range(*slice(offset, stop).indices(len(self))))
+        return Relation._from_columns(
+            self.vars, columns, length, partitions=self.partitions
+        )
