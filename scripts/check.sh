@@ -8,10 +8,11 @@
 #    JSONL trace parses and its span tree is well-formed
 #    (scripts/trace_smoke.py);
 # 3. smoke-runs the data-plane micro-benchmark at tiny scale and asserts
-#    BENCH_micro.json / BENCH_join.json are produced and well-formed,
-#    runs a dictionary round-trip check, and re-runs the columnar join
-#    suite as a perf-regression gate against the checked-in
-#    BENCH_join.json (scripts/microbench_smoke.py);
+#    BENCH_micro.json / BENCH_join.json / BENCH_plan.json are produced
+#    and well-formed, runs a dictionary round-trip check, and re-runs
+#    the columnar join and compiled-plan suites as perf-regression gates
+#    against the checked-in BENCH_join.json / BENCH_plan.json
+#    (scripts/microbench_smoke.py);
 # 4. runs one LUBM query under the seeded transient-fault profile and
 #    asserts the retry layer recovers deterministically
 #    (scripts/chaos_smoke.py).

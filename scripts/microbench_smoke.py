@@ -11,6 +11,9 @@
    fails if any bench's columnar-vs-row speedup falls below an absolute
    floor or drops far below the checked-in baseline.  Speedups are
    in-run ratios on identical data, so the gate is machine-tolerant.
+4. Compiled-plan regression gate: same mechanism over the compiled plan
+   suite (BENCH_plan.json) — cached-plan bound-join execution must stay
+   at least twice as fast as per-request interpretive planning.
 """
 
 from __future__ import annotations
@@ -47,10 +50,12 @@ def check_microbench_smoke() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         out = Path(tmp) / "BENCH_micro.json"
         join_out = Path(tmp) / "BENCH_join.json"
+        plan_out = Path(tmp) / "BENCH_plan.json"
         subprocess.run(
             [
                 sys.executable, "benchmarks/bench_microperf.py", "--smoke",
                 "--out", str(out), "--join-out", str(join_out),
+                "--plan-out", str(plan_out),
             ],
             cwd=REPO,
             check=True,
@@ -58,6 +63,7 @@ def check_microbench_smoke() -> None:
         )
         report = json.loads(out.read_text())
         join_report = json.loads(join_out.read_text())
+        plan_report = json.loads(plan_out.read_text())
     assert set(report) == {"meta", "benches"}, f"unexpected keys: {set(report)}"
     expected = {"bgp_join", "mediator_join", "values_subquery"}
     assert set(report["benches"]) == expected, f"missing benches: {report['benches']}"
@@ -65,14 +71,27 @@ def check_microbench_smoke() -> None:
     assert set(join_report["benches"]) == join_expected, (
         f"missing join benches: {join_report['benches']}"
     )
-    for benches in (report["benches"], join_report["benches"]):
+    assert set(plan_report) == {"meta", "benches", "workload"}, (
+        f"unexpected plan keys: {set(plan_report)}"
+    )
+    plan_expected = {"bound_join_reuse", "cached_execute"}
+    assert set(plan_report["benches"]) == plan_expected, (
+        f"missing plan benches: {plan_report['benches']}"
+    )
+    for benches in (report["benches"], join_report["benches"], plan_report["benches"]):
         for name, bench in benches.items():
             for field in ("before_s", "after_s", "speedup"):
                 value = bench.get(field)
                 assert isinstance(value, (int, float)) and value > 0, (
                     f"{name}.{field} malformed: {value!r}"
                 )
-    print("microbench smoke ok (BENCH_micro.json / BENCH_join.json well-formed)")
+    workload = plan_report["workload"]
+    for field in ("plan_cache_hits", "plan_cache_misses", "hit_rate"):
+        assert field in workload, f"plan workload missing {field}"
+    print(
+        "microbench smoke ok "
+        "(BENCH_micro.json / BENCH_join.json / BENCH_plan.json well-formed)"
+    )
 
 
 #: Absolute speedup floors for the columnar join suite.  mediator_join's
@@ -99,6 +118,7 @@ def check_join_regression() -> None:
             [
                 sys.executable, "benchmarks/bench_microperf.py", "--gate",
                 "--join-out", str(join_out),
+                "--plan-out", str(Path(tmp) / "BENCH_plan.json"),
             ],
             cwd=REPO,
             check=True,
@@ -119,11 +139,54 @@ def check_join_regression() -> None:
         print(f"join gate: {name} {speedup:.2f}x >= {required:.2f}x ok")
 
 
+#: Absolute speedup floors for the compiled plan suite.
+#: bound_join_reuse's 2.0 is the PR acceptance criterion: re-executing a
+#: cached plan on new VALUES blocks must stay at least twice as fast as
+#: per-request interpretive planning.  cached_execute's floor only
+#: asserts that compilation is not free (cold > cached).
+_PLAN_GATE_FLOORS = {
+    "bound_join_reuse": 2.0,
+    "cached_execute": 1.2,
+}
+
+
+def check_plan_regression() -> None:
+    baseline_path = REPO / "BENCH_plan.json"
+    assert baseline_path.exists(), "BENCH_plan.json baseline missing from repo root"
+    baseline = json.loads(baseline_path.read_text())["benches"]
+    with tempfile.TemporaryDirectory() as tmp:
+        plan_out = Path(tmp) / "BENCH_plan.json"
+        subprocess.run(
+            [
+                sys.executable, "benchmarks/bench_microperf.py", "--gate",
+                "--join-out", str(Path(tmp) / "BENCH_join.json"),
+                "--plan-out", str(plan_out),
+            ],
+            cwd=REPO,
+            check=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        gate = json.loads(plan_out.read_text())["benches"]
+    assert set(gate) == set(_PLAN_GATE_FLOORS), f"plan gate benches changed: {set(gate)}"
+    for name, floor in _PLAN_GATE_FLOORS.items():
+        speedup = gate[name]["speedup"]
+        required = floor
+        base = baseline.get(name, {}).get("speedup")
+        if base:
+            required = max(required, base * _GATE_TOLERANCE)
+        assert speedup >= required, (
+            f"plan perf regression: {name} speedup {speedup:.2f}x fell below "
+            f"{required:.2f}x (baseline {base and f'{base:.2f}x'}, floor {floor}x)"
+        )
+        print(f"plan gate: {name} {speedup:.2f}x >= {required:.2f}x ok")
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
     check_dictionary_round_trip()
     check_microbench_smoke()
     check_join_regression()
+    check_plan_regression()
     return 0
 
 

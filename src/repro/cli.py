@@ -44,6 +44,7 @@ from repro.obs import (
     Tracer,
     endpoint_summary_table,
     get_default_tracer,
+    plan_cache_summary,
     render_span_tree,
     write_metrics_json,
     write_trace_jsonl,
@@ -220,6 +221,9 @@ def cmd_profile(args) -> int:
     kernel_line = _kernel_line(registry)
     if kernel_line:
         print(kernel_line)
+    plan_line = plan_cache_summary(registry)
+    if plan_line:
+        print(plan_line)
     print(
         f"status: {outcome.status}; {len(outcome.result)} rows, "
         f"{metrics.request_count()} requests "

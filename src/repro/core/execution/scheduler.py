@@ -209,6 +209,12 @@ class BranchScheduler:
             )
         tracer = self.client.tracer
         metrics = self.client.metrics
+        # Every block of this subquery shares one query skeleton, so all
+        # blocks after the first should hit the endpoint plan caches;
+        # the hit delta on the span confirms compiled-plan reuse.
+        plan_hits_before = self.client.registry.counter_value(
+            "plan_cache_hits_total", engine=self.client.engine
+        )
         with tracer.span(
             "bound_subquery",
             t0=at_ms,
@@ -253,6 +259,12 @@ class BranchScheduler:
                 rows=len(relation),
                 requests=sum(
                     int(child.attrs.get("requests", 0)) for child in subquery_span.children
+                ),
+                plan_cache_hits=int(
+                    self.client.registry.counter_value(
+                        "plan_cache_hits_total", engine=self.client.engine
+                    )
+                    - plan_hits_before
                 ),
             ).end(finish)
         relation.partitions = self.handler.partitions_for(sources, len(relation))

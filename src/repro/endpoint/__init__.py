@@ -1,6 +1,12 @@
 """Endpoints, federations, caches, and the mediator-side client."""
 
-from repro.endpoint.cache import EngineCaches, MISSING, ProbeCache
+from repro.endpoint.cache import (
+    EngineCaches,
+    LRUCache,
+    MISSING,
+    PlanCache,
+    ProbeCache,
+)
 from repro.endpoint.client import FederationClient
 from repro.endpoint.endpoint import Endpoint
 from repro.endpoint.federation import Federation
@@ -10,6 +16,8 @@ __all__ = [
     "EngineCaches",
     "Federation",
     "FederationClient",
+    "LRUCache",
     "MISSING",
+    "PlanCache",
     "ProbeCache",
 ]

@@ -1,4 +1,4 @@
-"""Caches for remote probe results.
+"""Caches for remote probe results and compiled query plans.
 
 The paper: "To take advantage of previously submitted ASK queries, Lusail
 caches their results in a hash table", and Fig 10(b,c) measures response
@@ -8,6 +8,12 @@ cacheable.
 
 Keys are ``(endpoint_name, query AST)``; AST nodes are immutable and
 hashable, so no serialization is needed.
+
+Both cache kinds share one LRU eviction policy (:class:`LRUCache`):
+probe caches are bounded so the chaos / bench harnesses no longer leak,
+and the per-endpoint :class:`PlanCache` keeps the most recently used
+compiled plans, keyed on the query skeleton with VALUES rows stripped
+(see :func:`repro.sparql.plan.split_parameters`).
 """
 
 from __future__ import annotations
@@ -20,38 +26,124 @@ from typing import Hashable
 #: (ASK probes legitimately cache ``False``).
 MISSING = object()
 
+#: Default bound for probe caches.  Far above what one paper workload
+#: touches, but a hard ceiling under long chaos/bench loops.
+DEFAULT_PROBE_CACHE_CAPACITY = 8192
 
-class ProbeCache:
-    """A hash-table cache for one kind of probe result."""
+#: Default bound for per-endpoint plan caches.  A federation sees few
+#: distinct skeletons (one per delayed subquery / probe shape), so this
+#: is generous; it exists to bound adversarial workloads.
+DEFAULT_PLAN_CACHE_CAPACITY = 256
 
-    def __init__(self, enabled: bool = True):
-        self.enabled = enabled
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Backed by dict insertion order: a hit reinserts the key at the back,
+    eviction pops the front.  ``capacity=None`` means unbounded;
+    ``capacity=0`` disables storage entirely (every get misses).
+    Hit / miss / eviction counters are public attributes.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        self.capacity = capacity
         self._table: dict[Hashable, object] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: Hashable):
         """Cached value, or :data:`MISSING`.  Counts hit/miss statistics."""
-        if not self.enabled:
-            return MISSING
-        value = self._table.get(key, MISSING)
+        table = self._table
+        value = table.get(key, MISSING)
         if value is MISSING:
             self.misses += 1
         else:
             self.hits += 1
+            # Move to most-recently-used position.
+            del table[key]
+            table[key] = value
         return value
 
     def put(self, key: Hashable, value: object) -> None:
-        if self.enabled:
-            self._table[key] = value
+        capacity = self.capacity
+        if capacity == 0:
+            return
+        table = self._table
+        if key in table:
+            del table[key]
+        elif capacity is not None and len(table) >= capacity:
+            del table[next(iter(table))]
+            self.evictions += 1
+        table[key] = value
+
+    def discard(self, key: Hashable) -> None:
+        self._table.pop(key, None)
 
     def clear(self) -> None:
         self._table.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._table)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._table
+
+
+class ProbeCache(LRUCache):
+    """An LRU cache for one kind of probe result (ASK / check / COUNT)."""
+
+    def __init__(
+        self, enabled: bool = True, capacity: int | None = DEFAULT_PROBE_CACHE_CAPACITY
+    ):
+        super().__init__(capacity=capacity)
+        self.enabled = enabled
+
+    def get(self, key: Hashable):
+        if not self.enabled:
+            return MISSING
+        return super().get(key)
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.enabled:
+            super().put(key, value)
+
+
+class PlanCache(LRUCache):
+    """Per-endpoint cache of compiled physical plans.
+
+    Keys are query *skeletons* (VALUES rows stripped), so every
+    bound-join block of the same subquery hits one entry.  A cached plan
+    is only served while its store version still matches — a mutated
+    store invalidates the entry (counted in ``invalidations`` and as a
+    miss, since the caller must recompile).
+    """
+
+    def __init__(self, capacity: int | None = DEFAULT_PLAN_CACHE_CAPACITY):
+        super().__init__(capacity=capacity)
+        self.invalidations = 0
+
+    def get_plan(self, key: Hashable):
+        """The cached, still-valid plan for ``key``, or :data:`MISSING`."""
+        plan = self.get(key)
+        if plan is MISSING:
+            return MISSING
+        if not plan.valid:
+            self.discard(key)
+            self.invalidations += 1
+            # The hit counter already advanced; correct it to a miss so
+            # hit rates reflect compilations actually avoided.
+            self.hits -= 1
+            self.misses += 1
+            return MISSING
+        return plan
+
+    def clear(self) -> None:
+        super().clear()
+        self.invalidations = 0
 
 
 @dataclass

@@ -206,6 +206,48 @@ class FederationClient:
             kind=kind,
         )
 
+    def _evaluate_with_plan_metrics(self, endpoint, kind, run):
+        """Run one endpoint evaluation, mirroring plan-cache activity.
+
+        The endpoint keeps cumulative plan-cache counters and a
+        compile/execute wall-clock split (:meth:`Endpoint.plan_stats`);
+        diffing snapshots around the call attributes exactly this
+        request's share to the registry.  ``kind`` labels the counters
+        with the request kind, separating the bound-join hot path (where
+        skeletons repeat and hits are expected) from one-shot check /
+        COUNT probes (client-cached, so each skeleton compiles once).
+        """
+        before = endpoint.plan_stats()
+        result = run()
+        after = endpoint.plan_stats()
+        registry = self.registry
+        engine = self.engine
+        hits = after[0] - before[0]
+        misses = after[1] - before[1]
+        evictions = after[2] - before[2]
+        if hits:
+            registry.inc(
+                "plan_cache_hits_total", hits,
+                engine=engine, endpoint=endpoint.name, kind=kind,
+            )
+        if misses:
+            registry.inc(
+                "plan_cache_misses_total", misses,
+                engine=engine, endpoint=endpoint.name, kind=kind,
+            )
+        if evictions:
+            registry.inc(
+                "plan_cache_evictions_total", evictions,
+                engine=engine, endpoint=endpoint.name, kind=kind,
+            )
+        compile_s = after[3] - before[3]
+        if compile_s > 0.0:
+            registry.observe("endpoint_plan_compile_seconds", compile_s, engine=engine)
+        execute_s = after[4] - before[4]
+        if execute_s > 0.0:
+            registry.observe("endpoint_plan_execute_seconds", execute_s, engine=engine)
+        return result
+
     # ------------------------------------------------------------- probes
 
     def ask(self, endpoint_name: str, pattern: TriplePattern, at_ms: float) -> tuple[bool, float]:
@@ -236,7 +278,9 @@ class FederationClient:
             end = self._issue(endpoint_name, metrics_module.CHECK, at_ms, 0, 0, cached=True)
             return bool(hit), end
         endpoint = self.federation.get(endpoint_name)
-        result = endpoint.select(query)
+        result = self._evaluate_with_plan_metrics(
+            endpoint, metrics_module.CHECK, lambda: endpoint.select(query)
+        )
         non_empty = len(result) > 0
         end = self._issue(
             endpoint_name,
@@ -259,7 +303,9 @@ class FederationClient:
             end = self._issue(endpoint_name, metrics_module.COUNT, at_ms, 0, 0, cached=True)
             return int(hit), end  # type: ignore[arg-type]
         endpoint = self.federation.get(endpoint_name)
-        result = endpoint.select(query)
+        result = self._evaluate_with_plan_metrics(
+            endpoint, metrics_module.COUNT, lambda: endpoint.select(query)
+        )
         row = result.rows[0]
         value = row[0]
         count = int(value.value) if value is not None else 0  # type: ignore[union-attr]
@@ -280,7 +326,9 @@ class FederationClient:
     ) -> tuple[SelectResult, float]:
         """Evaluate a subquery at an endpoint and ship the result back."""
         endpoint = self.federation.get(endpoint_name)
-        result = endpoint.select(query)
+        result = self._evaluate_with_plan_metrics(
+            endpoint, kind, lambda: endpoint.select(query)
+        )
         end = self._issue(
             endpoint_name,
             kind,
@@ -295,7 +343,9 @@ class FederationClient:
     def ask_query(self, endpoint_name: str, query: AskQuery, at_ms: float) -> tuple[bool, float]:
         """A full ASK query (multi-pattern), uncached."""
         endpoint = self.federation.get(endpoint_name)
-        answer = endpoint.ask(query)
+        answer = self._evaluate_with_plan_metrics(
+            endpoint, metrics_module.ASK, lambda: endpoint.ask(query)
+        )
         end = self._issue(
             endpoint_name, metrics_module.ASK, at_ms, 1, query_bytes(query), cached=False
         )

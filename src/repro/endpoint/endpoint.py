@@ -18,13 +18,16 @@ rows into its own shared codec on ingest
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable
 
+from repro.endpoint.cache import DEFAULT_PLAN_CACHE_CAPACITY, MISSING, PlanCache
 from repro.exceptions import EvaluationError
 from repro.net import regions as regions_module
 from repro.rdf.triple import Triple, TriplePattern
 from repro.sparql.ast import AskQuery, Query, SelectQuery
-from repro.sparql.evaluator import SelectResult, evaluate_ask, evaluate_select
+from repro.sparql.evaluator import SelectResult
+from repro.sparql.plan import CompiledPlan, compile_query, split_parameters
 from repro.store.triple_store import TripleStore
 
 
@@ -36,6 +39,7 @@ class Endpoint:
         name: str,
         triples: Iterable[Triple] = (),
         region: str = regions_module.LOCAL,
+        plan_cache_capacity: int | None = DEFAULT_PLAN_CACHE_CAPACITY,
     ):
         self.name = name
         self.region = region
@@ -50,6 +54,16 @@ class Endpoint:
         #: are silently truncated — engines that fetch whole extents
         #: lose rows, while bound/selective strategies stay correct.
         self.result_limit: int | None = None
+        #: Compiled physical plans, keyed on the query skeleton (VALUES
+        #: rows stripped): every bound-join block of one subquery reuses
+        #: a single compiled plan.  Capacity 0 disables caching (each
+        #: request compiles fresh, the paper's no-cache configuration).
+        self.plan_cache = PlanCache(capacity=plan_cache_capacity)
+        #: Cumulative wall-clock split between query compilation and
+        #: plan execution, mirrored into the metrics registry by the
+        #: federation client and shown by the profile CLI.
+        self.plan_compile_s = 0.0
+        self.plan_execute_s = 0.0
 
     def __repr__(self) -> str:
         return f"Endpoint({self.name!r}, region={self.region!r}, triples={len(self.store)})"
@@ -69,16 +83,38 @@ class Endpoint:
 
     # ------------------------------------------------------------- queries
 
+    def _plan_for(self, query: Query) -> tuple[CompiledPlan, tuple]:
+        """Cached compiled plan for ``query`` plus its VALUES blocks.
+
+        The cache key is the skeleton with VALUES rows stripped, so a
+        bound-join re-issuing one subquery with fresh blocks compiles
+        exactly once.  Stale plans (store mutated since compilation) are
+        dropped by the cache and recompiled here.
+        """
+        skeleton, params = split_parameters(query)
+        plan = self.plan_cache.get_plan(skeleton)
+        if plan is MISSING:
+            started = perf_counter()
+            plan = compile_query(self.store, skeleton)
+            self.plan_compile_s += perf_counter() - started
+            self.plan_cache.put(skeleton, plan)
+        return plan, params
+
     def select(self, query: SelectQuery) -> SelectResult:
         """Run a SELECT query locally (truncated at ``result_limit``)."""
-        result = evaluate_select(self.store, query)
-        if self.result_limit is not None and len(result) > self.result_limit:
-            result.rows = result.rows[: self.result_limit]
+        plan, params = self._plan_for(query)
+        started = perf_counter()
+        result = plan.execute_select(params, max_rows=self.result_limit)
+        self.plan_execute_s += perf_counter() - started
         return result
 
     def ask(self, query: AskQuery) -> bool:
         """Run an ASK query locally."""
-        return evaluate_ask(self.store, query)
+        plan, params = self._plan_for(query)
+        started = perf_counter()
+        result = plan.execute_ask(params)
+        self.plan_execute_s += perf_counter() - started
+        return result
 
     def ask_pattern(self, pattern: TriplePattern) -> bool:
         """ASK over one triple pattern (the source-selection probe)."""
@@ -94,6 +130,21 @@ class Endpoint:
         if isinstance(query, AskQuery):
             return self.ask(query)
         raise EvaluationError(f"unsupported query type {type(query).__name__}")
+
+    def plan_stats(self) -> tuple[int, int, int, float, float]:
+        """(hits, misses, evictions, compile_s, execute_s) snapshot.
+
+        The federation client diffs consecutive snapshots to mirror
+        per-request plan-cache activity into the metrics registry.
+        """
+        cache = self.plan_cache
+        return (
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            self.plan_compile_s,
+            self.plan_execute_s,
+        )
 
     def add(self, triple: Triple) -> bool:
         return self.store.add(triple)

@@ -14,6 +14,7 @@ The instrumentation substrate of the reproduction (see
 from repro.obs.export import (
     endpoint_summary_table,
     load_trace_jsonl,
+    plan_cache_summary,
     render_span_tree,
     span_to_dict,
     validate_trace,
@@ -33,6 +34,7 @@ __all__ = [
     "get_default_registry",
     "get_default_tracer",
     "load_trace_jsonl",
+    "plan_cache_summary",
     "render_span_tree",
     "span_to_dict",
     "validate_trace",

@@ -149,6 +149,31 @@ def render_span_tree(root: Span) -> str:
     return "\n".join(lines)
 
 
+def plan_cache_summary(registry) -> str:
+    """One-line compiled-plan summary: cache hit rate + time split.
+
+    Sources the ``plan_cache_*_total`` counters and the
+    ``endpoint_plan_{compile,execute}_seconds`` histograms the
+    federation client mirrors from endpoints.  Empty string when no
+    endpoint evaluation happened (e.g. a purely cached run).
+    """
+    hits = int(registry.counter_value("plan_cache_hits_total"))
+    misses = int(registry.counter_value("plan_cache_misses_total"))
+    lookups = hits + misses
+    if not lookups:
+        return ""
+    evictions = int(registry.counter_value("plan_cache_evictions_total"))
+    rate = hits / lookups
+    compile_stats = registry.histogram("endpoint_plan_compile_seconds")
+    execute_stats = registry.histogram("endpoint_plan_execute_seconds")
+    return (
+        f"endpoint plans: {hits}/{lookups} cache hits ({rate:.0%}), "
+        f"{misses} compiled, {evictions} evicted; "
+        f"compile {compile_stats.sum * 1e3:.2f} ms, "
+        f"execute {execute_stats.sum * 1e3:.2f} ms wall"
+    )
+
+
 def endpoint_summary_table(metrics) -> str:
     """Per-endpoint request/row/byte/busy-time table for one query."""
     from repro.harness.reporting import format_table  # local: avoids import cycle

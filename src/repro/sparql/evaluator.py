@@ -121,6 +121,52 @@ def _row_key(row: tuple[Term | None, ...]) -> tuple:
 
 
 # --------------------------------------------------------------------------
+# Pattern ordering (shared with the plan compiler)
+
+
+def pick_next_pattern(
+    store: TripleStore, patterns: Sequence[TriplePattern], bound: set[Variable]
+) -> int:
+    """Greedy ordering: prefer patterns connected to bound variables,
+    then lower estimated cardinality, then fewer variables.
+
+    Shared by the interpretive evaluator (which re-runs it per request)
+    and the plan compiler in :mod:`repro.sparql.plan` (which runs it once
+    at compile time) — both must order identically.
+    """
+    best_index = 0
+    best_key: tuple | None = None
+    for index, pattern in enumerate(patterns):
+        connected = bool(pattern.variables() & bound) or not bound
+        estimate = estimate_pattern(store, pattern, bound)
+        key = (0 if connected else 1, estimate, pattern.selectivity_class())
+        if best_key is None or key < best_key:
+            best_key = key
+            best_index = index
+    return best_index
+
+
+def estimate_pattern(
+    store: TripleStore, pattern: TriplePattern, bound: set[Variable]
+) -> int:
+    """Cardinality estimate treating bound variables as constants."""
+    s = pattern.subject if not isinstance(pattern.subject, Variable) else None
+    p = pattern.predicate if not isinstance(pattern.predicate, Variable) else None
+    o = pattern.object if not isinstance(pattern.object, Variable) else None
+    if isinstance(pattern.subject, Variable) and pattern.subject in bound:
+        # A bound join variable will be a constant at match time; assume
+        # it is as selective as a concrete subject.
+        return 1 + (store.predicate_count(p) if p is not None else 0) // max(
+            1, store.distinct_subjects(p) if p is not None else 1
+        )
+    if s is None and o is None:
+        if p is None:
+            return len(store)
+        return store.predicate_count(p)
+    return store.count(s, p, o)
+
+
+# --------------------------------------------------------------------------
 # Expression evaluation
 
 
@@ -266,35 +312,10 @@ class _Evaluator:
         ]
 
     def _pick_next_pattern(self, patterns: list[TriplePattern], bound: set[Variable]) -> int:
-        """Greedy ordering: prefer patterns connected to bound variables,
-        then lower estimated cardinality, then fewer variables."""
-        best_index = 0
-        best_key: tuple | None = None
-        for index, pattern in enumerate(patterns):
-            connected = bool(pattern.variables() & bound) or not bound
-            estimate = self._estimate(pattern, bound)
-            key = (0 if connected else 1, estimate, pattern.selectivity_class())
-            if best_key is None or key < best_key:
-                best_key = key
-                best_index = index
-        return best_index
+        return pick_next_pattern(self.store, patterns, bound)
 
     def _estimate(self, pattern: TriplePattern, bound: set[Variable]) -> int:
-        """Cardinality estimate treating bound variables as constants."""
-        s = pattern.subject if not isinstance(pattern.subject, Variable) else None
-        p = pattern.predicate if not isinstance(pattern.predicate, Variable) else None
-        o = pattern.object if not isinstance(pattern.object, Variable) else None
-        if isinstance(pattern.subject, Variable) and pattern.subject in bound:
-            # A bound join variable will be a constant at match time; assume
-            # it is as selective as a concrete subject.
-            return 1 + (self.store.predicate_count(p) if p is not None else 0) // max(
-                1, self.store.distinct_subjects(p) if p is not None else 1
-            )
-        if s is None and o is None:
-            if p is None:
-                return len(self.store)
-            return self.store.predicate_count(p)
-        return self.store.count(s, p, o)
+        return estimate_pattern(self.store, pattern, bound)
 
     def _extend_rows(
         self, pattern: TriplePattern, schema: list[Variable], rows: list[tuple]
@@ -542,28 +563,7 @@ class _Evaluator:
         projected: tuple[Variable, ...],
         query: SelectQuery,
     ) -> None:
-        """ORDER BY: sort keys need real terms, so rows decode per key."""
-        decode = self.dictionary.decode
-
-        def order_key(row: tuple[int | None, ...]):
-            solution = {
-                variable: decode(value)
-                for variable, value in zip(projected, row)
-                if value is not None
-            }
-            keys = []
-            for condition in query.order_by:
-                try:
-                    value = self.eval_expression(condition.expression, solution)
-                except _ExpressionError:
-                    value = None
-                if isinstance(value, bool):
-                    value = typed_literal(value)
-                key = (0,) if value is None else value.sort_key()
-                keys.append(_DescendingKey(key) if not condition.ascending else key)
-            return tuple(keys)
-
-        rows.sort(key=order_key)
+        sort_id_rows(self, rows, projected, query.order_by)
 
     # ------------------------------------------------------------ filters
 
@@ -698,6 +698,39 @@ class _Evaluator:
         if name == "ABS":
             return typed_literal(abs(_numeric(arg(0))))
         raise EvaluationError(f"unsupported function {name}")
+
+
+def sort_id_rows(
+    evaluator: "_Evaluator",
+    rows: list[tuple[int | None, ...]],
+    projected: Sequence[Variable],
+    order_by: Sequence,
+) -> None:
+    """ORDER BY on id rows: sort keys need real terms, so rows decode per key.
+
+    Shared by the interpretive evaluator and the compiled-plan tail.
+    """
+    decode = evaluator.dictionary.decode
+
+    def order_key(row: tuple[int | None, ...]):
+        solution = {
+            variable: decode(value)
+            for variable, value in zip(projected, row)
+            if value is not None
+        }
+        keys = []
+        for condition in order_by:
+            try:
+                value = evaluator.eval_expression(condition.expression, solution)
+            except _ExpressionError:
+                value = None
+            if isinstance(value, bool):
+                value = typed_literal(value)
+            key = (0,) if value is None else value.sort_key()
+            keys.append(_DescendingKey(key) if not condition.ascending else key)
+        return tuple(keys)
+
+    rows.sort(key=order_key)
 
 
 # --------------------------------------------------------------------------

@@ -72,6 +72,12 @@ class TripleStore:
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
+        #: Data version, bumped on every mutation (add/remove/clear).
+        #: Compiled plans (:mod:`repro.sparql.plan`) are pinned to the
+        #: version they were built against: their pattern order and
+        #: statistics-driven choices are only valid while the data —
+        #: and hence the statistics — are unchanged.
+        self.version = 0
         self._predicate_counts: Counter[int] = Counter()
         # Incremental distinct-subject statistics: predicate id ->
         # {subject id: number of triples with that (subject, predicate)}.
@@ -123,6 +129,7 @@ class TripleStore:
         _index_add(self._pos, p, o, s)
         _index_add(self._osp, o, s, p)
         self._size += 1
+        self.version += 1
         self._predicate_counts[p] += 1
         subjects = self._predicate_subjects.setdefault(p, {})
         subjects[s] = subjects.get(s, 0) + 1
@@ -148,6 +155,7 @@ class TripleStore:
         _index_remove(self._pos, p, o, s)
         _index_remove(self._osp, o, s, p)
         self._size -= 1
+        self.version += 1
         self._predicate_counts[p] -= 1
         if self._predicate_counts[p] == 0:
             del self._predicate_counts[p]
@@ -378,6 +386,7 @@ class TripleStore:
         self._predicate_counts.clear()
         self._predicate_subjects.clear()
         self._size = 0
+        self.version += 1
 
 
 def _repeated_variable_check(

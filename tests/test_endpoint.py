@@ -181,3 +181,67 @@ class TestFederationClient:
         client2 = FederationClient(federation, local_cluster_config(), caches)
         client2.ask("ep1", pattern, 0.0)
         assert client2.metrics.request_count() == 0  # warmed by client1
+
+
+class TestEndpointPlans:
+    """End-to-end plan-cache behavior through the endpoint and client."""
+
+    def _values_query(self, subjects):
+        from repro.sparql.ast import BGP, GroupPattern, SelectQuery, ValuesPattern
+
+        s, o = Variable("s"), Variable("o")
+        return SelectQuery(
+            where=GroupPattern(
+                [
+                    ValuesPattern((s,), tuple((subj,) for subj in subjects)),
+                    BGP([TriplePattern(s, iri("p"), o)]),
+                ]
+            ),
+            select_vars=(s, o),
+        )
+
+    def test_plan_metrics_labeled_by_kind(self, federation):
+        from repro.net import metrics as metrics_module
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        client = FederationClient(
+            federation,
+            local_cluster_config(),
+            EngineCaches(),
+            registry=registry,
+            engine="TestEngine",
+        )
+        end = 0.0
+        for block in ([iri("a")], [iri("b")], [iri("a"), iri("b")]):
+            __, end = client.select(
+                "ep1", self._values_query(block), end, kind=metrics_module.BOUND
+            )
+        # One skeleton: first block compiles, the rest re-bind the
+        # cached plan — and the counters carry the bound-join kind.
+        labels = {"engine": "TestEngine", "endpoint": "ep1", "kind": "bound"}
+        assert registry.counter_value("plan_cache_misses_total", **labels) == 1
+        assert registry.counter_value("plan_cache_hits_total", **labels) == 2
+        assert registry.histogram("endpoint_plan_execute_seconds").count == 3
+
+    def test_ask_stops_at_first_solution(self, endpoint):
+        # Satellite audit: ASK through the public endpoint entry point
+        # must stop probing the index after the first solution.
+        probes = []
+        original = endpoint.store.match_ids
+
+        def counting(s, p, o):
+            probes.append((s, p, o))
+            return original(s, p, o)
+
+        endpoint.store.match_ids = counting
+        query = parse_query("ASK WHERE { ?s <http://ex.org/p> ?o . ?s ?q ?v }")
+        assert endpoint.ask(query) is True
+        first_run = len(probes)
+        assert first_run == 2  # one probe per pattern, then stop
+        # Same skeleton again: the cached plan answers with the same
+        # probe discipline (lazy plans do not memoize matches).
+        assert endpoint.ask(query) is True
+        assert len(probes) == 2 * first_run
+        hits, misses, __, __, __ = endpoint.plan_stats()
+        assert (hits, misses) == (1, 1)
