@@ -15,7 +15,11 @@
 #    (scripts/microbench_smoke.py);
 # 4. runs one LUBM query under the seeded transient-fault profile and
 #    asserts the retry layer recovers deterministically
-#    (scripts/chaos_smoke.py).
+#    (scripts/chaos_smoke.py);
+# 5. profiles one LUBM query per engine with the estimate audit on and
+#    gates the resulting ProfileReports (status, request counts, rows
+#    shipped, worst q-error) against the committed BENCH_profile.json
+#    (scripts/profile_smoke.py).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,5 +37,8 @@ python scripts/microbench_smoke.py
 
 echo "== seeded chaos smoke =="
 python scripts/chaos_smoke.py
+
+echo "== explain-analyze profile gate =="
+python scripts/profile_smoke.py
 
 echo "check.sh: all green"

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""EXPLAIN ANALYZE smoke + profile regression gate (see scripts/check.sh).
+
+Profiles one LUBM query per engine with tracing enabled and asserts:
+
+* the ProfileReport round-trips through JSON;
+* every engine recorded at least one per-decision q-error series (the
+  estimate audit is alive for Lusail *and* the baselines);
+* the critical path covers the root span — it starts at the root and
+  its per-span self times sum to the root's inclusive virtual time;
+* **structural regression gate**: per (engine, query), status / request
+  count / rows shipped / result rows must match the committed
+  ``BENCH_profile.json`` exactly and the worst q-error must stay within
+  tolerance.  The simulator is deterministic, so any drift means a
+  planner, estimator, or audit change — review it, then regenerate the
+  baseline with ``python scripts/profile_smoke.py --write-baseline``.
+
+Exits non-zero on any problem; prints a one-line summary otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.datasets import lubm
+from repro.harness import ENGINE_ORDER, profile_query, write_profile_reports
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "BENCH_profile.json"
+QUERY = "Q4"
+#: Relative drift allowed on each report's worst q-error before the
+#: gate trips (the structural counters are compared exactly).
+Q_ERROR_TOLERANCE = 0.05
+
+
+def build_runs():
+    federation = lubm.build_federation(2, profile=lubm.TINY_PROFILE, seed=42)
+    query_text = lubm.queries()[QUERY]
+    return [
+        profile_query(engine, federation, QUERY, query_text)
+        for engine in ENGINE_ORDER
+    ]
+
+
+def check_run(run, problems: list[str]) -> None:
+    report = run.report
+    label = f"{report.engine}/{report.query}"
+    try:
+        decoded = json.loads(json.dumps(report.to_dict()))
+    except (TypeError, ValueError) as exc:
+        problems.append(f"{label}: report not JSON-serializable: {exc}")
+        return
+    if decoded != report.to_dict():
+        problems.append(f"{label}: report JSON round-trip mismatch")
+    if report.status != "ok":
+        problems.append(f"{label}: query failed with status {report.status}")
+    if not report.q_error:
+        problems.append(f"{label}: no q-error series recorded by the estimate audit")
+    if run.root is None:
+        problems.append(f"{label}: tracer produced no root span")
+        return
+    if not report.critical_path:
+        problems.append(f"{label}: empty critical path")
+        return
+    first = report.critical_path[0]
+    if first["name"] != run.root.name or abs(first["t0_ms"] - run.root.t0_ms) > 1e-6:
+        problems.append(f"{label}: critical path does not start at the root span")
+    inclusive = run.root.inclusive_ms
+    if inclusive > 0 and abs(report.critical_path_ms - inclusive) / inclusive > 1e-6:
+        problems.append(
+            f"{label}: critical path {report.critical_path_ms:.3f}ms does not "
+            f"cover the root span's {inclusive:.3f}ms"
+        )
+
+
+def gate(reports, problems: list[str]) -> None:
+    if not BASELINE.exists():
+        problems.append(
+            "BENCH_profile.json baseline missing from repo root "
+            "(generate with --write-baseline)"
+        )
+        return
+    baseline = {
+        (entry["engine"], entry["query"]): entry
+        for entry in json.loads(BASELINE.read_text())["reports"]
+    }
+    for report in reports:
+        label = f"{report.engine}/{report.query}"
+        base = baseline.get((report.engine, report.query))
+        if base is None:
+            problems.append(f"{label}: missing from BENCH_profile.json")
+            continue
+        for name in ("status", "requests", "rows_shipped", "result_rows"):
+            current = getattr(report, name)
+            if current != base[name]:
+                problems.append(
+                    f"{label}: {name} {current!r} != baseline {base[name]!r}"
+                )
+        worst = report.worst_q_error
+        base_worst = base["worst_q_error"]
+        lo = base_worst / (1.0 + Q_ERROR_TOLERANCE) - 1e-9
+        hi = base_worst * (1.0 + Q_ERROR_TOLERANCE) + 1e-9
+        if not lo <= worst <= hi:
+            problems.append(
+                f"{label}: worst q-error {worst:.3f} drifted from baseline "
+                f"{base_worst:.3f} (±{Q_ERROR_TOLERANCE:.0%} allowed)"
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate BENCH_profile.json instead of gating against it",
+    )
+    args = parser.parse_args()
+
+    runs = build_runs()
+    reports = [run.report for run in runs]
+
+    if args.write_baseline:
+        write_profile_reports(reports, str(BASELINE))
+        print(f"profile smoke: wrote baseline {BASELINE} ({len(reports)} reports)")
+        return 0
+
+    problems: list[str] = []
+    for run in runs:
+        check_run(run, problems)
+    gate(reports, problems)
+
+    if problems:
+        for problem in problems:
+            print(f"profile smoke: {problem}", file=sys.stderr)
+        return 1
+    decisions = sorted({d for report in reports for d in report.q_error})
+    print(
+        f"profile smoke: ok ({len(reports)} reports on {QUERY}; "
+        f"audited decisions: {', '.join(decisions)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

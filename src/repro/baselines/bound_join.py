@@ -26,17 +26,33 @@ def evaluate_operand(
     operand: Operand,
     projection: tuple[Variable, ...],
     at_ms: float,
+    estimated_rows: float | None = None,
 ) -> tuple[Relation, float]:
-    """Evaluate an operand unbound at all its sources (first join step)."""
+    """Evaluate an operand unbound at all its sources (first join step).
+
+    ``estimated_rows`` is the caller's index-based cardinality estimate
+    (SPLENDID's VoID numbers); when given, the estimate-vs-actual pair
+    is recorded in the EXPLAIN ANALYZE audit.
+    """
     query = operand.to_select(projection)
     relation = Relation(projection, partitions=max(1, len(operand.sources)))
     finish = at_ms
     mark = client.metrics.mark()
     with client.tracer.span("operand", t0=at_ms, endpoints=list(operand.sources)) as span:
+        if estimated_rows is not None:
+            span.set(estimated_cardinality=estimated_rows)
         for endpoint in operand.sources:
             result, end = client.select(endpoint, query, at_ms)
             finish = max(finish, end)
             relation.rows.extend(result.rows)
+        if estimated_rows is not None and client.audit.enabled:
+            client.audit.record(
+                "void_estimate",
+                estimated_rows,
+                len(relation),
+                span=span,
+                mode="hash",
+            )
         span.set(
             rows=len(relation), requests=client.metrics.requests_since(mark)
         ).end(finish)
@@ -51,6 +67,7 @@ def bound_join(
     at_ms: float,
     block_size: int = DEFAULT_BLOCK_SIZE,
     stop_after_rows: int | None = None,
+    estimated_rows: float | None = None,
 ) -> tuple[Relation, float]:
     """One bound-join step: bind shared vars of ``current`` into ``operand``.
 
@@ -61,12 +78,18 @@ def bound_join(
     queries: blocks are joined as they return and the loop stops once the
     joined relation reaches the requested size (sound because the join
     distributes over the union of binding blocks).
+
+    ``estimated_rows`` is the caller's index-based estimate of the
+    operand's extent; when given, it is audited against the rows the
+    bound requests actually shipped back.
     """
     shared = tuple(
         sorted(set(current.vars) & operand.variables(), key=lambda v: v.name)
     )
     if not shared or not current.rows:
-        fetched, end = evaluate_operand(client, operand, projection, at_ms)
+        fetched, end = evaluate_operand(
+            client, operand, projection, at_ms, estimated_rows=estimated_rows
+        )
         return current.join(fetched), end
 
     bindings = current.project(shared).distinct()
@@ -76,6 +99,7 @@ def bound_join(
     now = at_ms
     mark = client.metrics.mark()
     blocks = 0
+    fetched_total = 0
     with client.tracer.span(
         "bound_join",
         t0=at_ms,
@@ -83,6 +107,8 @@ def bound_join(
         block_size=block_size,
         endpoints=list(operand.sources),
     ) as span:
+        if estimated_rows is not None:
+            span.set(estimated_cardinality=estimated_rows)
         for start in range(0, len(binding_rows), block_size):
             block = binding_rows[start:start + block_size]
             query = operand.to_select(projection, values=ValuesPattern(shared, block))
@@ -98,11 +124,20 @@ def bound_join(
             # one completed (FedX's synchronous pipeline).
             now = block_end
             blocks += 1
+            fetched_total += len(fetched)
             client.registry.inc("bound_join_blocks_total", engine=client.engine)
             block_joined = current.join(fetched)
             joined.rows.extend(block_joined.project(out_vars).rows)
             if stop_after_rows is not None and len(joined) >= stop_after_rows:
                 break
+        if estimated_rows is not None and client.audit.enabled:
+            client.audit.record(
+                "void_estimate",
+                estimated_rows,
+                fetched_total,
+                span=span,
+                mode="bind",
+            )
         span.set(
             blocks=blocks,
             rows=len(joined),

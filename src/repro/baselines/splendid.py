@@ -142,16 +142,21 @@ class SplendidEngine(FederatedEngine):
             )
             estimate = self._estimate_operand(operand)
             if relation is None:
-                relation, now = evaluate_operand(client, operand, operand_projection, now)
+                relation, now = evaluate_operand(
+                    client, operand, operand_projection, now, estimated_rows=estimate
+                )
             else:
                 use_bind = self._prefer_bind_join(relation, operand, estimate)
                 if use_bind:
                     relation, now = bound_join(
                         client, relation, operand, operand_projection, now,
                         block_size=self.config.bind_join_block_size,
+                        estimated_rows=estimate,
                     )
                 else:
-                    fetched, now = evaluate_operand(client, operand, operand_projection, now)
+                    fetched, now = evaluate_operand(
+                        client, operand, operand_projection, now, estimated_rows=estimate
+                    )
                     relation = relation.join(fetched)
             self._guard_rows(client, relation)
             if not relation.rows:

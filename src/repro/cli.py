@@ -8,6 +8,7 @@ Commands
 ``explain``   print Lusail's compile-time plan for a query
 ``bench``     run one of the paper's experiments and print its table
 ``profile``   execute a query with tracing on and print the span tree
+``explain-analyze``  traced run: est→act rows, q-error, critical path
 ``chaos``     run queries under injected faults and report resilience
 
 Examples::
@@ -17,6 +18,7 @@ Examples::
     python -m repro explain --benchmark qfed --name Drug
     python -m repro bench --experiment fig03
     python -m repro profile --benchmark lubm --name Q4 --trace-out /tmp/q4.jsonl
+    python -m repro explain-analyze --benchmark lubm --name Q4 --engine all
     python -m repro chaos --benchmark lubm --faults transient,outage --partial
 """
 
@@ -33,6 +35,8 @@ from repro.faults import FAULT_PROFILES, ResiliencePolicy, default_chaos_policy
 from repro.harness import (
     ENGINE_ORDER,
     make_engines,
+    profile_query,
+    reports_to_json,
     results_by_query,
     results_to_json,
     run_chaos,
@@ -45,8 +49,11 @@ from repro.obs import (
     endpoint_summary_table,
     get_default_tracer,
     plan_cache_summary,
+    render_explain_analyze,
+    render_q_error_table,
     render_span_tree,
     write_metrics_json,
+    write_trace_chrome,
     write_trace_jsonl,
 )
 
@@ -130,6 +137,16 @@ def _outcome_json(engine_name: str, query_name: str | None, outcome) -> dict:
     }
 
 
+def _write_trace(tracer: Tracer, args) -> None:
+    """Write the collected trace in the requested format (--trace-out)."""
+    if getattr(args, "trace_format", "jsonl") == "chrome":
+        events = write_trace_chrome(tracer.roots, args.trace_out)
+        print(f"chrome trace ({events} events) written to {args.trace_out}")
+    else:
+        write_trace_jsonl(tracer.roots, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+
+
 def cmd_query(args) -> int:
     federation = _build_federation(args)
     config = geo_distributed_config() if args.geo else local_cluster_config()
@@ -151,8 +168,7 @@ def cmd_query(args) -> int:
         f"{outcome.metrics.virtual_ms:.2f} virtual ms"
     )
     if args.trace_out:
-        write_trace_jsonl(tracer.roots, args.trace_out)
-        print(f"trace written to {args.trace_out}")
+        _write_trace(tracer, args)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as stream:
             json.dump(_outcome_json(args.engine, args.name, outcome), stream, indent=2)
@@ -193,6 +209,17 @@ def _kernel_line(registry: MetricsRegistry) -> str:
     )
 
 
+def _latency_line(registry: MetricsRegistry) -> str:
+    """Request-latency percentile summary from the registry histogram."""
+    stats = registry.histogram("request_virtual_ms")
+    if not stats.count:
+        return ""
+    return (
+        f"request latency (virtual ms): p50 {stats.p50:.2f}, p95 {stats.p95:.2f}, "
+        f"p99 {stats.p99:.2f}, max {stats.max:.2f} over {stats.count} requests"
+    )
+
+
 def cmd_profile(args) -> int:
     """Run one query with tracing enabled and print the span tree."""
     federation = _build_federation(args)
@@ -224,6 +251,9 @@ def cmd_profile(args) -> int:
     plan_line = plan_cache_summary(registry)
     if plan_line:
         print(plan_line)
+    latency_line = _latency_line(registry)
+    if latency_line:
+        print(latency_line)
     print(
         f"status: {outcome.status}; {len(outcome.result)} rows, "
         f"{metrics.request_count()} requests "
@@ -232,12 +262,51 @@ def cmd_profile(args) -> int:
         f"{metrics.virtual_ms:.2f} virtual ms"
     )
     if args.trace_out:
-        write_trace_jsonl(tracer.roots, args.trace_out)
-        print(f"trace written to {args.trace_out}")
+        _write_trace(tracer, args)
     if args.json:
         write_metrics_json(registry, args.json)
         print(f"metrics snapshot written to {args.json}")
     return 0 if outcome.ok else 1
+
+
+def cmd_explain_analyze(args) -> int:
+    """Execute a query traced and print the annotated EXPLAIN ANALYZE tree."""
+    federation = _build_federation(args)
+    config = geo_distributed_config() if args.geo else local_cluster_config()
+    text = _resolve_query(args)
+    which = list(ENGINE_ORDER) if args.engine == "all" else [args.engine]
+    runs = []
+    failed = False
+    for engine_name in which:
+        run = profile_query(
+            engine_name, federation, args.name or "-", text, network_config=config
+        )
+        runs.append(run)
+        report = run.report
+        print(f"== {engine_name} ==")
+        if run.root is not None:
+            print(render_explain_analyze(run.root))
+            print()
+        print(render_q_error_table(report.q_error))
+        print(
+            f"status: {report.status}; {report.result_rows} rows, "
+            f"{report.requests} requests, {report.rows_shipped} rows shipped; "
+            f"critical path {report.critical_path_ms:.2f} of "
+            f"{report.virtual_ms:.2f} virtual ms "
+            f"({len(report.critical_path)} spans); "
+            f"worst q-error {report.worst_q_error:.2f}"
+        )
+        print()
+        failed = failed or not run.outcome.ok
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(
+                reports_to_json([run.report for run in runs]),
+                stream, indent=2, sort_keys=True,
+            )
+            stream.write("\n")
+        print(f"profile reports written to {args.json}")
+    return 1 if failed else 0
 
 
 def cmd_chaos(args) -> int:
@@ -360,9 +429,8 @@ def cmd_bench(args) -> int:
             stream.write("\n")
         print(f"results written to {args.json}")
     if args.trace_out:
-        write_trace_jsonl(tracer.roots, args.trace_out)
+        _write_trace(tracer, args)
         tracer.disable()
-        print(f"trace written to {args.trace_out}")
     return 0
 
 
@@ -382,7 +450,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--name", help="named benchmark query (e.g. Q1, C2P2, S3, R1)")
     query.add_argument("--query-file", help="file containing a SPARQL query")
     query.add_argument("--limit", type=int, default=10, help="rows to print")
-    query.add_argument("--trace-out", help="write the query's span trace as JSONL")
+    query.add_argument("--trace-out", help="write the query's span trace")
+    query.add_argument("--trace-format", default="jsonl", choices=["jsonl", "chrome"],
+                       help="trace file format (JSONL spans or Chrome trace events)")
     query.add_argument("--json", help="write a machine-readable run summary")
     query.set_defaults(func=cmd_query)
 
@@ -398,7 +468,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "fig10bc", "fig11", "fig12-2", "fig12-4", "fig13",
                                 "fig14c", "real", "ablation"])
     bench.add_argument("--json", help="write engine x query results as JSON")
-    bench.add_argument("--trace-out", help="write every query's span trace as JSONL")
+    bench.add_argument("--trace-out", help="write every query's span trace")
+    bench.add_argument("--trace-format", default="jsonl", choices=["jsonl", "chrome"],
+                       help="trace file format (JSONL spans or Chrome trace events)")
     bench.set_defaults(func=cmd_bench)
 
     profile = subparsers.add_parser(
@@ -409,9 +481,25 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["Lusail", "FedX", "HiBISCuS", "SPLENDID"])
     profile.add_argument("--name", help="named benchmark query")
     profile.add_argument("--query-file", help="file containing a SPARQL query")
-    profile.add_argument("--trace-out", help="write the span trace as JSONL")
+    profile.add_argument("--trace-out", help="write the span trace")
+    profile.add_argument("--trace-format", default="jsonl", choices=["jsonl", "chrome"],
+                         help="trace file format (JSONL spans or Chrome trace events)")
     profile.add_argument("--json", help="write a metrics-registry snapshot as JSON")
     profile.set_defaults(func=cmd_profile)
+
+    explain_analyze = subparsers.add_parser(
+        "explain-analyze",
+        help="execute a query traced; print est→act rows, q-error, critical path",
+    )
+    _add_federation_args(explain_analyze)
+    explain_analyze.add_argument(
+        "--engine", default="Lusail",
+        choices=["Lusail", "FedX", "HiBISCuS", "SPLENDID", "all"],
+    )
+    explain_analyze.add_argument("--name", help="named benchmark query")
+    explain_analyze.add_argument("--query-file", help="file containing a SPARQL query")
+    explain_analyze.add_argument("--json", help="write the ProfileReport(s) as JSON")
+    explain_analyze.set_defaults(func=cmd_explain_analyze)
 
     chaos = subparsers.add_parser(
         "chaos", help="run queries under injected faults and report resilience"

@@ -261,6 +261,16 @@ class LusailEngine(FederatedEngine):
                 )
                 outcome = scheduler.run(now)
                 now = outcome.end_ms + self.mediator.row_ms * outcome.join_cost_units
+                if client.audit.enabled and plan.subqueries:
+                    # SAPE treats max C(sq) as the bound on what the
+                    # branch can produce; audit it against the branch's
+                    # actual result size.
+                    client.audit.record(
+                        "branch_rows",
+                        max(sq.estimated_cardinality for sq in plan.subqueries),
+                        len(outcome.relation),
+                        span=span,
+                    )
                 counters = scheduler.kernel_counters
                 span.set(
                     rows=len(outcome.relation),

@@ -92,6 +92,29 @@ class CardinalityEstimates:
             return 0.0
         return max(self.variable_cardinality(subquery, variable) for variable in variables)
 
+    def endpoint_cardinality(
+        self, subquery: Subquery, endpoint: str, projected: set[Variable]
+    ) -> float:
+        """One endpoint's share of C(sq): max over v of C(sq, v, ep).
+
+        The per-endpoint analogue of :meth:`subquery_cardinality`, used
+        by the EXPLAIN ANALYZE audit to compare SAPE's per-endpoint
+        estimate against the rows that endpoint actually returned.
+        """
+        variables = subquery.variables() & projected if projected else subquery.variables()
+        if not variables:
+            variables = subquery.variables()
+        best = 0.0
+        for variable in variables:
+            holding = [p for p in subquery.patterns if variable in p.variables()]
+            if not holding:
+                continue
+            best = max(
+                best,
+                float(min(self.pattern_count(pattern, endpoint) for pattern in holding)),
+            )
+        return best
+
 
 def collect_statistics(
     client: FederationClient,

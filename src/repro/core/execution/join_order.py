@@ -194,6 +194,20 @@ def _greedy_plan(leaves: list[JoinPlanNode], var_sets: list[set[Variable]]) -> J
     return nodes[0]
 
 
+def plan_summary(root: JoinPlanNode) -> dict:
+    """Compact optimizer-side view of a join plan for EXPLAIN ANALYZE.
+
+    The estimated rows/cost here are what the enumerator *believed*;
+    the audit compares them against the measured outcome of
+    :func:`execute_plan`.
+    """
+    return {
+        "order": root.order(),
+        "estimated_rows": root.rows,
+        "estimated_cost": root.cost,
+    }
+
+
 def execute_plan(
     root: JoinPlanNode, relations: Sequence[Relation]
 ) -> tuple[Relation, float]:

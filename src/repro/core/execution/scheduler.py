@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.core.decomposition.subquery import DecompositionPlan, Subquery, values_block
 from repro.core.execution.cost_model import CardinalityEstimates
-from repro.core.execution.join_order import execute_plan, plan_joins
+from repro.core.execution.join_order import execute_plan, plan_joins, plan_summary
 from repro.core.execution.request_handler import ElasticRequestHandler
 from repro.endpoint.client import FederationClient
 from repro.exceptions import MemoryLimitError, NetworkError
@@ -159,6 +159,7 @@ class BranchScheduler:
         relation = Relation(projection, partitions=1)
         finish = at_ms
         mark = self.client.metrics.mark()
+        audit = self.client.audit
         with self.client.tracer.span(
             "subquery",
             t0=at_ms,
@@ -177,6 +178,28 @@ class BranchScheduler:
                     continue
                 finish = max(finish, end)
                 relation.rows.extend(result.rows)
+                if audit.enabled:
+                    # SAPE's per-endpoint COUNT-derived estimate against
+                    # the rows this endpoint actually returned.
+                    audit.record(
+                        "sape_cardinality",
+                        self.estimates.endpoint_cardinality(
+                            subquery, endpoint, self.needed_vars
+                        ),
+                        len(result.rows),
+                        endpoint=endpoint,
+                        subquery=subquery.id,
+                    )
+            if audit.enabled:
+                # The aggregate C(sq) that drove the delay decision.
+                audit.record(
+                    "delay",
+                    subquery.estimated_cardinality,
+                    len(relation),
+                    span=span,
+                    subquery=subquery.id,
+                    delayed=subquery.delayed,
+                )
             span.set(
                 rows=len(relation),
                 requests=self.client.metrics.requests_since(mark),
@@ -255,6 +278,27 @@ class BranchScheduler:
                 self.client.registry.inc(
                     "bound_join_blocks_total", engine=self.client.engine
                 )
+            audit = self.client.audit
+            if audit.enabled:
+                # Total rows the COUNT estimate predicted vs. received...
+                audit.record(
+                    "bound_join",
+                    subquery.estimated_cardinality,
+                    len(relation),
+                    span=subquery_span,
+                    subquery=subquery.id,
+                    bindings=len(binding_rows),
+                )
+                # ...and the per-binding selectivity that sized the blocks.
+                if binding_rows:
+                    audit.record(
+                        "block_size",
+                        subquery.estimated_cardinality / len(binding_rows),
+                        len(relation) / len(binding_rows),
+                        span=subquery_span,
+                        subquery=subquery.id,
+                        block_size=block_size,
+                    )
             subquery_span.set(
                 rows=len(relation),
                 requests=sum(
@@ -270,6 +314,22 @@ class BranchScheduler:
         relation.partitions = self.handler.partitions_for(sources, len(relation))
         self._guard_rows(len(relation))
         return relation, finish
+
+    def _audit_join_plan(self, plan, joined: Relation, cost: float, span) -> None:
+        """Record the join enumerator's estimates against measured reality."""
+        audit = self.client.audit
+        if not audit.enabled:
+            return
+        summary = plan_summary(plan)
+        span.set(join_order=summary["order"])
+        audit.record(
+            "join_cost",
+            summary["estimated_cost"],
+            cost,
+            span=span,
+            order=summary["order"],
+        )
+        audit.record("join_rows", summary["estimated_rows"], len(joined), span=span)
 
     # ----------------------------------------------------------- components
 
@@ -451,6 +511,7 @@ class BranchScheduler:
                     joined, cost = execute_plan(plan, relations)
                     self.join_cost_units += cost
                     span.set(rows=len(joined), join_cost_units=cost).end(at_ms)
+                    self._audit_join_plan(plan, joined, cost, span)
                 self.client.registry.inc(
                     "mediator_join_rows_total", len(joined), engine=self.client.engine
                 )
@@ -540,6 +601,7 @@ class BranchScheduler:
             joined, cost = execute_plan(plan, relations)
             self.join_cost_units += cost
             span.set(rows=len(joined), join_cost_units=cost).end(at_ms)
+            self._audit_join_plan(plan, joined, cost, span)
         self._guard_rows(len(joined))
         return joined
 

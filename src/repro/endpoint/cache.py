@@ -77,6 +77,15 @@ class LRUCache:
             self.evictions += 1
         table[key] = value
 
+    def peek(self, key: Hashable):
+        """Cached value or :data:`MISSING` — no counters, no LRU touch.
+
+        The observability layer uses this to inspect cached state
+        without perturbing the hit/miss statistics that the traced-vs-
+        untraced invariance guarantee depends on.
+        """
+        return self._table.get(key, MISSING)
+
     def discard(self, key: Hashable) -> None:
         self._table.pop(key, None)
 
@@ -138,6 +147,13 @@ class PlanCache(LRUCache):
             # hit rates reflect compilations actually avoided.
             self.hits -= 1
             self.misses += 1
+            return MISSING
+        return plan
+
+    def peek_plan(self, key: Hashable):
+        """Like :meth:`get_plan` but counter-neutral (see :meth:`peek`)."""
+        plan = self.peek(key)
+        if plan is MISSING or not plan.valid:
             return MISSING
         return plan
 

@@ -37,6 +37,7 @@ from repro.faults.resilience import CircuitBreaker, ResiliencePolicy
 from repro.net import metrics as metrics_module
 from repro.net.metrics import QueryMetrics
 from repro.net.simulator import NetworkConfig, VirtualNetwork
+from repro.obs.audit import make_audit
 from repro.obs.registry import MetricsRegistry, get_default_registry
 from repro.obs.trace import Tracer, get_default_tracer
 from repro.rdf.triple import TriplePattern
@@ -92,6 +93,11 @@ class FederationClient:
         self.tracer = tracer if tracer is not None else get_default_tracer()
         self.registry = registry if registry is not None else get_default_registry()
         self.engine = engine
+        #: Estimate-vs-actual audit (see :mod:`repro.obs.audit`).  Rides
+        #: on tracing: a real collector only when the tracer is enabled,
+        #: the shared no-op otherwise — so EXPLAIN ANALYZE costs nothing
+        #: when observability is off.
+        self.audit = make_audit(self.registry, engine, self.tracer.enabled)
         self.resilience = resilience
         #: Per-endpoint circuit breakers (virtual time resets per query,
         #: so breaker state is per-client by construction).
@@ -329,6 +335,8 @@ class FederationClient:
         result = self._evaluate_with_plan_metrics(
             endpoint, kind, lambda: endpoint.select(query)
         )
+        if self.audit.enabled:
+            self._audit_probe_order(endpoint, query)
         end = self._issue(
             endpoint_name,
             kind,
@@ -339,6 +347,24 @@ class FederationClient:
             response_bytes=_payload_bytes(result),
         )
         return result, end
+
+    def _audit_probe_order(self, endpoint, query: SelectQuery) -> None:
+        """Record compiled-plan probe-order estimates vs. actuals.
+
+        Only runs while the audit is live (tracing on); the endpoint's
+        audit path is counter-neutral and purely local, so traced and
+        untraced executions stay request-for-request identical.
+        """
+        for probe in endpoint.audit_probes(query):
+            self.audit.record(
+                "probe_order",
+                probe["estimated"],
+                probe["actual"],
+                endpoint=endpoint.name,
+                pattern=probe["pattern"],
+                input_rows=probe["input_rows"],
+                output_rows=probe["output_rows"],
+            )
 
     def ask_query(self, endpoint_name: str, query: AskQuery, at_ms: float) -> tuple[bool, float]:
         """A full ASK query (multi-pattern), uncached."""

@@ -116,6 +116,24 @@ class Endpoint:
         self.plan_execute_s += perf_counter() - started
         return result
 
+    def audit_probes(self, query: SelectQuery) -> list[dict]:
+        """Probe-order audit records for one SELECT (observability only).
+
+        Re-executes the *cached* compiled plan op by op (see
+        :meth:`CompiledPlan.audit_probes`) to measure the actual
+        matches-per-row behind each probe's compile-time estimate.  The
+        plan is fetched with a counter-neutral peek and the re-run does
+        not feed ``plan_execute_s``, so auditing never perturbs
+        plan-cache statistics or the compile/execute split.  Empty when
+        the plan is not cached (capacity 0) or needs the interpretive
+        fallback.
+        """
+        skeleton, params = split_parameters(query)
+        plan = self.plan_cache.peek_plan(skeleton)
+        if plan is MISSING:
+            return []
+        return plan.audit_probes(params)
+
     def ask_pattern(self, pattern: TriplePattern) -> bool:
         """ASK over one triple pattern (the source-selection probe)."""
         return self.store.ask(pattern.subject, pattern.predicate, pattern.object)

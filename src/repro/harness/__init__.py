@@ -7,6 +7,13 @@ from repro.harness.chaos import (
     resolve_profiles,
     run_chaos,
 )
+from repro.harness.profiling import (
+    ProfiledRun,
+    profile_query,
+    profile_workload,
+    reports_to_json,
+    write_profile_reports,
+)
 from repro.harness.reporting import (
     format_table,
     print_banner,
@@ -29,8 +36,12 @@ __all__ = [
     "ChaosRun",
     "DEFAULT_TIMEOUT_MS",
     "ENGINE_ORDER",
+    "ProfiledRun",
     "RunResult",
     "format_table",
+    "profile_query",
+    "profile_workload",
+    "reports_to_json",
     "resolve_profiles",
     "run_chaos",
     "make_engines",
@@ -40,4 +51,5 @@ __all__ = [
     "run_matrix",
     "run_query",
     "speedup_summary",
+    "write_profile_reports",
 ]

@@ -1,16 +1,31 @@
-"""Observability: span tracing, metrics registry, exporters.
+"""Observability: span tracing, metrics registry, audit, profiling, exporters.
 
 The instrumentation substrate of the reproduction (see
-``docs/observability.md``).  Three pieces:
+``docs/observability.md``).  Five pieces:
 
 * :mod:`repro.obs.trace` — hierarchical virtual-time spans covering
   every stage of the query lifecycle; disabled by default, free when off.
-* :mod:`repro.obs.registry` — labeled counters/histograms that the
-  simulator, client, scheduler, and every engine report into.
-* :mod:`repro.obs.export` — JSONL trace sink, JSON metrics snapshots,
-  and the human-readable renderings behind ``python -m repro profile``.
+* :mod:`repro.obs.registry` — labeled counters/histograms (with log2
+  buckets and approximate percentiles) that the simulator, client,
+  scheduler, and every engine report into.
+* :mod:`repro.obs.audit` — estimate-vs-actual auditing: per-decision
+  q-error histograms recorded wherever an estimate drives a choice.
+* :mod:`repro.obs.profile` — post-hoc EXPLAIN ANALYZE: critical-path
+  extraction, flamegraph exports, :class:`ProfileReport` artifacts.
+* :mod:`repro.obs.export` — JSONL / Chrome trace sinks, JSON metrics
+  snapshots, and the human-readable renderings behind
+  ``python -m repro profile`` and ``explain-analyze``.
 """
 
+from repro.obs.audit import (
+    AUDIT_COUNTER,
+    NULL_AUDIT,
+    Q_ERROR_METRIC,
+    AuditRecord,
+    EstimateAudit,
+    make_audit,
+    q_error,
+)
 from repro.obs.export import (
     endpoint_summary_table,
     load_trace_jsonl,
@@ -18,26 +33,59 @@ from repro.obs.export import (
     render_span_tree,
     span_to_dict,
     validate_trace,
+    write_folded_stacks,
     write_metrics_json,
+    write_trace_chrome,
     write_trace_jsonl,
+)
+from repro.obs.profile import (
+    ProfileReport,
+    build_profile_report,
+    chrome_trace_events,
+    critical_path,
+    critical_path_ids,
+    critical_sections,
+    folded_stacks,
+    q_error_summary,
+    render_explain_analyze,
+    render_q_error_table,
 )
 from repro.obs.registry import HistogramStats, MetricsRegistry, get_default_registry
 from repro.obs.trace import NULL_SPAN, Span, Tracer, get_default_tracer
 
 __all__ = [
+    "AUDIT_COUNTER",
+    "AuditRecord",
+    "EstimateAudit",
     "HistogramStats",
     "MetricsRegistry",
+    "NULL_AUDIT",
     "NULL_SPAN",
+    "ProfileReport",
+    "Q_ERROR_METRIC",
     "Span",
     "Tracer",
+    "build_profile_report",
+    "chrome_trace_events",
+    "critical_path",
+    "critical_path_ids",
+    "critical_sections",
     "endpoint_summary_table",
+    "folded_stacks",
     "get_default_registry",
     "get_default_tracer",
     "load_trace_jsonl",
+    "make_audit",
     "plan_cache_summary",
+    "q_error",
+    "q_error_summary",
+    "render_explain_analyze",
+    "render_q_error_table",
     "render_span_tree",
     "span_to_dict",
     "validate_trace",
+    "write_folded_stacks",
     "write_metrics_json",
+    "write_trace_chrome",
     "write_trace_jsonl",
 ]

@@ -61,6 +61,35 @@ def write_trace_jsonl(roots: Iterable[Span], path: str) -> int:
     return count
 
 
+def write_trace_chrome(roots: Iterable[Span], path: str) -> int:
+    """Write spans as Chrome trace-event JSON; returns event count.
+
+    The artifact opens directly in ``chrome://tracing`` and Perfetto:
+    one ``pid`` per root query, virtually-concurrent siblings fanned
+    out across ``tid`` lanes (see
+    :func:`repro.obs.profile.chrome_trace_events`).
+    """
+    from repro.obs.profile import chrome_trace_events  # local: avoids import cycle
+
+    payload = chrome_trace_events(roots)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, sort_keys=True)
+        stream.write("\n")
+    return len(payload["traceEvents"])
+
+
+def write_folded_stacks(roots: Iterable[Span], path: str) -> int:
+    """Write folded-stack lines (flamegraph.pl input); returns line count."""
+    from repro.obs.profile import folded_stacks  # local: avoids import cycle
+
+    lines = folded_stacks(roots)
+    with open(path, "w", encoding="utf-8") as stream:
+        for line in lines:
+            stream.write(line)
+            stream.write("\n")
+    return len(lines)
+
+
 def load_trace_jsonl(path: str) -> list[dict[str, Any]]:
     """Parse a JSONL trace back into span dicts (raises on malformed lines)."""
     spans: list[dict[str, Any]] = []

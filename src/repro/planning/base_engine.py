@@ -106,6 +106,10 @@ class FederatedEngine:
         #: to the fault-free simulator.
         self.fault_plan = None
         self.resilience = None
+        #: The estimate audit of the most recent :meth:`execute` call
+        #: (``NULL_AUDIT`` when tracing is off); profiling harnesses read
+        #: it post-hoc to embed raw estimate records in ProfileReports.
+        self.last_audit = None
 
     # ------------------------------------------------------------- public
 
@@ -130,6 +134,7 @@ class FederatedEngine:
             fault_plan=self.fault_plan,
             resilience=self.resilience,
         )
+        self.last_audit = client.audit
         wall_start = time.perf_counter()
         with self.tracer.span("query", t0=0.0, engine=self.name) as root:
             try:

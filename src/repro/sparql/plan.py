@@ -69,6 +69,7 @@ from repro.sparql.ast import (
 from repro.sparql.evaluator import (
     SelectResult,
     _Evaluator,
+    estimate_pattern,
     evaluate_ask,
     evaluate_select,
     pick_next_pattern,
@@ -205,6 +206,8 @@ class _ProbeOp:
         "eq_checks",
         "maybe_pending",
         "lazy",
+        "estimate",
+        "pattern_text",
         "_n_new",
         "_first_new",
         "_extract",
@@ -218,6 +221,11 @@ class _ProbeOp:
         self.eq_checks = eq_checks
         self.maybe_pending = maybe_pending
         self.lazy = lazy
+        # Compile-time ordering estimate (expected matches per input
+        # row) and the source pattern, kept for the EXPLAIN ANALYZE
+        # probe-order audit; filled in by the compiler's BGP walk.
+        self.estimate: int | None = None
+        self.pattern_text = ""
         self._n_new = len(self.new_positions)
         self._first_new = self.new_positions[0] if self.new_positions else None
         self._extract = itemgetter(*self.new_positions) if self._n_new >= 2 else None
@@ -784,7 +792,10 @@ class _Compiler:
         while remaining:
             index = pick_next_pattern(self.store, remaining, bound)
             pattern = remaining.pop(index)
-            ops.append(self._compile_probe(pattern, schema, certain))
+            op = self._compile_probe(pattern, schema, certain)
+            op.estimate = estimate_pattern(self.store, pattern, bound)
+            op.pattern_text = pattern.n3()
+            ops.append(op)
             bound |= pattern.variables()
             timeline.append(set(certain))
 
@@ -1270,6 +1281,40 @@ class CompiledPlan:
     def explain(self) -> list[str]:
         """Operator chain of the WHERE pipeline, for tests and debugging."""
         return self.core.plan.describe()
+
+    def audit_probes(self, params=None) -> list[dict]:
+        """Estimate-vs-actual audit of the top-level probe chain.
+
+        Re-runs the WHERE pipeline op by op with materialized
+        intermediates and reports, per probe, the compiler's ordering
+        estimate against the measured matches-per-input-row.  Pure
+        local re-execution: no store mutation, no cache-counter
+        traffic, so the EXPLAIN ANALYZE layer can call it without
+        perturbing plan-cache statistics or virtual time.  Empty for
+        parameter blocks that need the interpretive fallback.
+        """
+        params = self._resolve_params(params)
+        if _needs_fallback(params):
+            return []
+        ctx = _ExecutionContext(self.store, self._encode_params(params))
+        records: list[dict] = []
+        rows = list(_SEED)
+        for op in self.core.plan.ops:
+            n_in = len(rows)
+            if not n_in:
+                break
+            rows = op.run_list(ctx, rows)
+            if isinstance(op, _ProbeOp) and op.estimate is not None:
+                records.append(
+                    {
+                        "pattern": op.pattern_text,
+                        "estimated": float(op.estimate),
+                        "actual": len(rows) / n_in,
+                        "input_rows": n_in,
+                        "output_rows": len(rows),
+                    }
+                )
+        return records
 
     # ---------------------------------------------------------- execution
 

@@ -92,6 +92,29 @@ class TestTracer:
         assert tracer._stack == []
         assert tracer.roots[0].t1_ms is not None
 
+    def test_exception_unwinds_deep_span_stack(self):
+        # An exception escaping several open spans at once: only the
+        # outermost context manager's __exit__ runs, and _pop must close
+        # every abandoned span above it with a sane end time.
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("query", t0=0.0):
+                tracer.span("execution", t0=1.0)
+                tracer.span("subquery", t0=2.0)
+                inner = tracer.span("bound_block", t0=3.0)
+                inner.end(4.5)
+                raise RuntimeError("endpoint died")
+        assert tracer._stack == []
+        (root,) = tracer.roots
+        names = [span.name for span in root.walk()]
+        assert names == ["query", "execution", "subquery", "bound_block"]
+        for span in root.walk():
+            assert span.t1_ms is not None
+            assert span.t1_ms >= span.t0_ms
+        # Unended ancestors close at their latest descendant end.
+        assert root.find("subquery")[0].t1_ms == pytest.approx(4.5)
+        assert root.find("execution")[0].t1_ms == pytest.approx(4.5)
+
     def test_clear_drops_roots(self):
         tracer = Tracer(enabled=True)
         with tracer.span("x", t0=0.0) as span:
@@ -263,21 +286,55 @@ class TestEngineIntegration:
         assert "endpoint" in check.attrs and "variable" in check.attrs
 
     def test_tracing_never_changes_results(self, tiny_lubm):
+        # Tracing also switches on the estimate audit (probe re-execution,
+        # COUNT-based q-error bookkeeping), so this invariance check is
+        # what keeps EXPLAIN ANALYZE observational: status, rows, request
+        # counts, rows shipped, and virtual time must match the untraced
+        # run bit-for-bit on every engine.
         query = lubm.queries()["Q4"]
-        plain = make_engines(tiny_lubm, which=("Lusail", "FedX"))
+        plain = make_engines(tiny_lubm, which=ENGINE_ORDER)
         traced_tracer = Tracer(enabled=True)
         traced = make_engines(
-            tiny_lubm, which=("Lusail", "FedX"),
+            tiny_lubm, which=ENGINE_ORDER,
             tracer=traced_tracer, registry=MetricsRegistry(),
         )
-        for name in ("Lusail", "FedX"):
+        for name in ENGINE_ORDER:
             off = plain[name].execute(query)
             on = traced[name].execute(query)
             assert on.status == off.status
             assert sorted(map(str, on.result.rows)) == sorted(map(str, off.result.rows))
             assert on.metrics.request_count() == off.metrics.request_count()
+            assert on.metrics.rows_shipped() == off.metrics.rows_shipped()
             assert on.metrics.virtual_ms == pytest.approx(off.metrics.virtual_ms)
+            # The audit hooks actually ran in the traced execution...
+            assert traced[name].last_audit.records, name
+            # ...and stayed off (shared no-op) in the untraced one.
+            assert plain[name].last_audit.enabled is False
+            assert plain[name].last_audit.records == ()
         assert traced_tracer.roots  # tracing actually happened
+
+    def test_trace_export_is_byte_identical_across_seeded_runs(self, tmp_path):
+        # Two runs over identically-seeded federations must serialize to
+        # byte-identical trace files in both formats: the virtual-time
+        # simulator is deterministic and spans only observe it.
+        from repro.obs import write_trace_chrome
+
+        paths = []
+        for run in ("one", "two"):
+            federation = lubm.build_federation(2, profile=lubm.TINY_PROFILE, seed=42)
+            tracer = Tracer(enabled=True)
+            engines = make_engines(
+                federation, which=("Lusail",),
+                tracer=tracer, registry=MetricsRegistry(),
+            )
+            assert engines["Lusail"].execute(lubm.queries()["Q4"]).ok
+            jsonl = tmp_path / f"{run}.jsonl"
+            chrome = tmp_path / f"{run}.chrome.json"
+            write_trace_jsonl(tracer.roots, str(jsonl))
+            write_trace_chrome(tracer.roots, str(chrome))
+            paths.append((jsonl.read_bytes(), chrome.read_bytes()))
+        assert paths[0][0] == paths[1][0]
+        assert paths[0][1] == paths[1][1]
 
     def test_disabled_default_tracer_collects_nothing(self, tiny_lubm):
         from repro.obs import get_default_tracer
