@@ -3,15 +3,18 @@
 #
 #   ./scripts/check.sh
 #
+# 0. lints with ruff when it is installed (config in pyproject.toml);
 # 1. runs the full pytest suite (the repo's tier-1 gate, see ROADMAP.md);
 # 2. runs a LUBM query with tracing enabled and asserts the exported
 #    JSONL trace parses and its span tree is well-formed
 #    (scripts/trace_smoke.py);
 # 3. smoke-runs the data-plane micro-benchmark at tiny scale and asserts
-#    BENCH_micro.json / BENCH_join.json / BENCH_plan.json are produced
-#    and well-formed, runs a dictionary round-trip check, and re-runs
-#    the columnar join and compiled-plan suites as perf-regression gates
-#    against the checked-in BENCH_join.json / BENCH_plan.json
+#    BENCH_micro.json / BENCH_join.json / BENCH_plan.json /
+#    BENCH_store.json are produced and well-formed, runs a dictionary
+#    round-trip check, and re-runs the columnar join, compiled-plan and
+#    array-substrate suites as perf-regression gates against the
+#    checked-in BENCH_join.json / BENCH_plan.json / BENCH_store.json —
+#    including the merge-beats-hash and >=1e5-triple scale gates
 #    (scripts/microbench_smoke.py);
 # 4. runs one LUBM query under the seeded transient-fault profile and
 #    asserts the retry layer recovers deterministically
@@ -25,6 +28,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH=src
+
+if command -v ruff >/dev/null 2>&1; then
+  echo "== lint: ruff =="
+  ruff check src tests benchmarks scripts
+  ruff format --check src tests benchmarks scripts
+else
+  echo "== lint: ruff not installed, skipping =="
+fi
 
 echo "== tier-1: pytest =="
 python -m pytest -x -q

@@ -66,6 +66,9 @@ def _build_federation(args) -> Federation:
             "bench": lubm.BENCH_PROFILE,
             "tiny": lubm.TINY_PROFILE,
         }[args.profile]
+        scale = getattr(args, "scale", 1.0)
+        if scale != 1.0:
+            profile = lubm.scaled_profile(scale, base=profile)
         return lubm.build_federation(args.endpoints, profile=profile, seed=args.seed, geo=geo)
     if args.benchmark == "qfed":
         return qfed.build_federation(seed=args.seed, geo=geo)
@@ -109,7 +112,8 @@ def _add_federation_args(parser: argparse.ArgumentParser) -> None:
                         choices=["lubm", "qfed", "largerdf", "bio2rdf"])
     parser.add_argument("--endpoints", type=int, default=4, help="LUBM universities")
     parser.add_argument("--profile", default="small", choices=["small", "bench", "tiny"])
-    parser.add_argument("--scale", type=float, default=1.0, help="LargeRDFBench scale")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (LUBM university size, LargeRDFBench scale)")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--geo", action="store_true", help="spread endpoints over cloud regions")
 

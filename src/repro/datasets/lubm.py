@@ -67,6 +67,32 @@ TINY_PROFILE = UniversityProfile(
 )
 
 
+def scaled_profile(scale: float, base: UniversityProfile = BENCH_PROFILE) -> UniversityProfile:
+    """``base`` with departments and student bodies multiplied by ``scale``.
+
+    Triples per university grow roughly quadratically in ``scale``
+    (departments × students-per-department both scale), so modest factors
+    reach paper-sized endpoints: the array-substrate scale gate uses this
+    to build single endpoints holding ≥10⁵ triples.  Faculty size per
+    department and the interlink probabilities stay fixed — the data
+    *shape* (selectivities, locality) is preserved, only the volume moves.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    scaled = lambda value: max(1, round(value * scale))  # noqa: E731
+    return UniversityProfile(
+        departments=scaled(base.departments),
+        professors_per_department=base.professors_per_department,
+        courses_per_professor=base.courses_per_professor,
+        graduate_students_per_department=scaled(base.graduate_students_per_department),
+        undergraduate_students_per_department=scaled(
+            base.undergraduate_students_per_department
+        ),
+        courses_taken_per_student=base.courses_taken_per_student,
+        local_degree_probability=base.local_degree_probability,
+    )
+
+
 def university_iri(index: int) -> IRI:
     return IRI(f"http://www.university{index}.example.org/university")
 

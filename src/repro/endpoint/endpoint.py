@@ -22,13 +22,37 @@ from time import perf_counter
 from typing import Iterable
 
 from repro.endpoint.cache import DEFAULT_PLAN_CACHE_CAPACITY, MISSING, PlanCache
+from repro.endpoint.shards import ShardPool, fork_shardable
 from repro.exceptions import EvaluationError
 from repro.net import regions as regions_module
 from repro.rdf.triple import Triple, TriplePattern
-from repro.sparql.ast import AskQuery, Query, SelectQuery
+from repro.sparql.ast import AskQuery, ExistsExpr, Filter, Query, SelectQuery
 from repro.sparql.evaluator import SelectResult
 from repro.sparql.plan import CompiledPlan, compile_query, split_parameters
+from repro.sparql.skeleton import Canonicalized, canonicalize_query
 from repro.store.triple_store import TripleStore
+
+
+def _is_probe_shape(query: Query) -> bool:
+    """True for the probe families worth skeleton-canonicalizing.
+
+    ASK queries, COUNT statistics probes, and ``LIMIT 1`` locality
+    checks (an EXISTS filter at the top level) are structurally
+    repetitive: only variable names and embedded constants vary, so
+    canonicalization collapses them onto shared compiled plans.  Full
+    retrieval SELECTs are left alone — lifting their constants into
+    parameters would degrade the statistics the probe ordering uses.
+    """
+    if isinstance(query, AskQuery):
+        return True
+    if not isinstance(query, SelectQuery):
+        return False
+    if query.aggregate is not None and not query.order_by:
+        return True
+    return query.limit == 1 and any(
+        isinstance(el, Filter) and isinstance(el.expression, ExistsExpr)
+        for el in query.where.elements
+    )
 
 
 class Endpoint:
@@ -40,11 +64,27 @@ class Endpoint:
         triples: Iterable[Triple] = (),
         region: str = regions_module.LOCAL,
         plan_cache_capacity: int | None = DEFAULT_PLAN_CACHE_CAPACITY,
+        shards: int = 1,
+        parallel: bool = False,
     ):
         self.name = name
         self.region = region
         self.store = TripleStore(name=name)
         self.store.add_all(triples)
+        #: Number of parallel lanes SELECT pipelines are chunked across.
+        #: 1 (the default) is the plain single-lane path.  With more,
+        #: shardable plans run chunk by chunk and report per-shard lane
+        #: statistics in :attr:`last_shard_stats`.
+        self.shards = max(1, int(shards))
+        #: Opt-in real parallelism: eligible bound-join requests run on
+        #: a fork pool (:mod:`repro.endpoint.shards`) instead of the
+        #: deterministic in-process chunk loop.
+        self.parallel = parallel
+        self._shard_pool: ShardPool | None = None
+        #: Per-shard lane statistics of the most recent ``select()``:
+        #: one dict per shard with input/output row counts and
+        #: wall-clock seconds.  Empty when the last query ran unsharded.
+        self.last_shard_stats: list[dict] = []
         #: Failure injection: an unavailable endpoint refuses requests,
         #: which engines surface as a runtime error (the paper's plots
         #: annotate such runs as errors rather than timeouts).
@@ -83,14 +123,35 @@ class Endpoint:
 
     # ------------------------------------------------------------- queries
 
-    def _plan_for(self, query: Query) -> tuple[CompiledPlan, tuple]:
+    def _canonicalize(self, query: Query) -> tuple[Query, Canonicalized | None]:
+        """Skeleton-canonicalize probe-shaped queries before keying.
+
+        Check / COUNT / ASK probes differ only in variable names and
+        constants; canonicalization (:mod:`repro.sparql.skeleton`) maps
+        them onto shared cache keys so each probe *shape* compiles once.
+        Returns the (possibly rewritten) query plus the restore handle.
+        """
+        if not _is_probe_shape(query):
+            return query, None
+        canonical = canonicalize_query(query)
+        if canonical is None:
+            return query, None
+        return canonical.query, canonical
+
+    def _plan_for(
+        self, query: Query
+    ) -> tuple[CompiledPlan, tuple, Canonicalized | None]:
         """Cached compiled plan for ``query`` plus its VALUES blocks.
 
-        The cache key is the skeleton with VALUES rows stripped, so a
-        bound-join re-issuing one subquery with fresh blocks compiles
-        exactly once.  Stale plans (store mutated since compilation) are
-        dropped by the cache and recompiled here.
+        The cache key is the skeleton with VALUES rows stripped — and,
+        for probe-shaped queries, variable names normalized and
+        constants lifted into a parameter block — so a bound-join
+        re-issuing one subquery with fresh blocks, or a probe family
+        re-issued over different patterns, compiles exactly once.
+        Stale plans (store mutated since compilation) are dropped by
+        the cache and recompiled here.
         """
+        query, canonical = self._canonicalize(query)
         skeleton, params = split_parameters(query)
         plan = self.plan_cache.get_plan(skeleton)
         if plan is MISSING:
@@ -98,19 +159,51 @@ class Endpoint:
             plan = compile_query(self.store, skeleton)
             self.plan_compile_s += perf_counter() - started
             self.plan_cache.put(skeleton, plan)
-        return plan, params
+        return plan, params, canonical
+
+    def _parallel_pool(self, query: SelectQuery) -> ShardPool | None:
+        """The live fork pool when this query may run on it, else None."""
+        if not self.parallel or self.shards <= 1 or self.result_limit is not None:
+            return None
+        if not fork_shardable(query):
+            return None
+        pool = self._shard_pool
+        if pool is not None and not pool.valid_for(self):
+            pool.close()
+            pool = self._shard_pool = None
+        if pool is None:
+            try:
+                pool = self._shard_pool = ShardPool(self, self.shards)
+            except (OSError, ValueError):
+                # No fork support here: stay on the in-process lanes.
+                return None
+        return pool
 
     def select(self, query: SelectQuery) -> SelectResult:
         """Run a SELECT query locally (truncated at ``result_limit``)."""
-        plan, params = self._plan_for(query)
+        plan, params, canonical = self._plan_for(query)
         started = perf_counter()
-        result = plan.execute_select(params, max_rows=self.result_limit)
+        if self.shards > 1:
+            pool = self._parallel_pool(query)
+            if pool is not None:
+                vars_out, rows, stats = pool.execute(query)
+                result = SelectResult(vars_out, rows)
+            else:
+                result, stats = plan.execute_select_sharded(
+                    params, shards=self.shards, max_rows=self.result_limit
+                )
+            self.last_shard_stats = stats
+        else:
+            result = plan.execute_select(params, max_rows=self.result_limit)
+            self.last_shard_stats = []
         self.plan_execute_s += perf_counter() - started
+        if canonical is not None:
+            result = canonical.restore(result)
         return result
 
     def ask(self, query: AskQuery) -> bool:
         """Run an ASK query locally."""
-        plan, params = self._plan_for(query)
+        plan, params, _canonical = self._plan_for(query)
         started = perf_counter()
         result = plan.execute_ask(params)
         self.plan_execute_s += perf_counter() - started
@@ -128,6 +221,7 @@ class Endpoint:
         the plan is not cached (capacity 0) or needs the interpretive
         fallback.
         """
+        query, _canonical = self._canonicalize(query)
         skeleton, params = split_parameters(query)
         plan = self.plan_cache.peek_plan(skeleton)
         if plan is MISSING:
@@ -169,3 +263,15 @@ class Endpoint:
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         return self.store.add_all(triples)
+
+    def close(self) -> None:
+        """Release the fork pool, if one was ever created.
+
+        Mutations invalidate the pool automatically (the forked snapshot
+        is pinned to ``store.version``), but the worker processes
+        themselves only go away on ``close()``.
+        """
+        pool = self._shard_pool
+        if pool is not None:
+            self._shard_pool = None
+            pool.close()

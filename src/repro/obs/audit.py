@@ -92,8 +92,11 @@ class EstimateAudit:
         actual: float,
         endpoint: str = "*",
         span=None,
+        shard: int | None = None,
         **detail: Any,
     ) -> AuditRecord:
+        if shard is not None:
+            detail["shard"] = shard
         error = q_error(estimated, actual)
         entry = AuditRecord(
             decision=decision,
@@ -105,16 +108,17 @@ class EstimateAudit:
         )
         self.records.append(entry)
         if self.registry is not None:
-            self.registry.observe(
-                Q_ERROR_METRIC,
-                error,
-                engine=self.engine,
-                decision=decision,
-                endpoint=endpoint,
-            )
-            self.registry.inc(
-                AUDIT_COUNTER, engine=self.engine, decision=decision, endpoint=endpoint
-            )
+            # The shard dimension is opt-in per record so un-sharded
+            # sites keep their existing label sets (and series).
+            labels: dict[str, Any] = {
+                "engine": self.engine,
+                "decision": decision,
+                "endpoint": endpoint,
+            }
+            if shard is not None:
+                labels["shard"] = str(shard)
+            self.registry.observe(Q_ERROR_METRIC, error, **labels)
+            self.registry.inc(AUDIT_COUNTER, **labels)
         if span is not None:
             span.attrs.setdefault("audit", []).append(entry.to_dict())
             worst = span.attrs.get("q_error")
@@ -136,7 +140,9 @@ class _NullAudit:
     engine = "<disabled>"
     records: tuple = ()
 
-    def record(self, decision, estimated, actual, endpoint="*", span=None, **detail):
+    def record(
+        self, decision, estimated, actual, endpoint="*", span=None, shard=None, **detail
+    ):
         return None
 
     def worst(self):

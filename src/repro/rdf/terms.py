@@ -240,6 +240,13 @@ class Variable:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Re-enter __new__ on unpickle so deserialized variables are
+        # interned like every other instance (fork-pool workers receive
+        # queries by pickle; the default slots protocol bypasses
+        # __new__ and would crash on the missing ``name`` argument).
+        return (Variable, (self.name,))
+
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"
 

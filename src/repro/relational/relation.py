@@ -143,7 +143,7 @@ class RowStore:
 class Relation:
     """An immutable-schema, mutable-rows solution relation."""
 
-    __slots__ = ("vars", "rows", "partitions")
+    __slots__ = ("vars", "rows", "partitions", "sort_order")
 
     def __init__(self, vars: Sequence[Variable], rows: Iterable[Row] = (), partitions: int = 1):
         self.vars = tuple(vars)
@@ -155,6 +155,14 @@ class Relation:
             self.rows = RowStore(width=len(self.vars))
             self.rows.extend(rows)
         self.partitions = max(1, partitions)
+        #: Leading variables the id rows are (non-strictly) sorted by, in
+        #: *mediator-codec id order*.  Set by :meth:`sorted_by` and by
+        #: merge-join outputs; the kernel dispatcher reads it to pick the
+        #: merge path when both join inputs cover the shared variables.
+        #: Endpoint results do not carry order across :meth:`from_result`:
+        #: their ids live in a different codec, so re-encoding loses
+        #: numeric order.
+        self.sort_order: tuple[Variable, ...] = ()
 
     @classmethod
     def _from_columns(
@@ -163,11 +171,13 @@ class Relation:
         columns: list[list],
         length: int,
         partitions: int = 1,
+        sort_order: tuple = (),
     ) -> "Relation":
         """Internal fast path: adopt already-encoded columns."""
         relation = cls(vars, (), partitions)
         relation.rows.columns = columns
         relation.rows.length = length
+        relation.sort_order = sort_order
         return relation
 
     #: Columnar view consumed by the kernels.
@@ -228,8 +238,14 @@ class Relation:
         """
         out_vars = self._out_vars(other)
         columns, length = kernels.join(self, other, self.shared_vars(other), out_vars)
+        stats = kernels.active_runtime().last_join
+        sort_order = stats.sort_order if stats is not None and stats.kind == "merge" else ()
         return Relation._from_columns(
-            out_vars, columns, length, partitions=max(self.partitions, other.partitions)
+            out_vars,
+            columns,
+            length,
+            partitions=max(self.partitions, other.partitions),
+            sort_order=sort_order,
         )
 
     def left_join(self, other: "Relation") -> "Relation":
@@ -238,8 +254,38 @@ class Relation:
         columns, length = kernels.left_join(
             self, other, self.shared_vars(other), out_vars
         )
+        # Left rows are emitted in input order (duplicated per match), so
+        # the left ordering survives non-strictly.
         return Relation._from_columns(
-            out_vars, columns, length, partitions=self.partitions
+            out_vars,
+            columns,
+            length,
+            partitions=self.partitions,
+            sort_order=self.sort_order,
+        )
+
+    def sorted_by(self, variables: Sequence[Variable]) -> "Relation":
+        """A copy sorted by the id columns of ``variables``.
+
+        This is the explicit sort that seeds merge-join chains: sort both
+        sides once on the shared variables, and every subsequent join on
+        that key dispatches to the merge kernel (whose output stays
+        sorted).  Unbound positions order first.  Returns ``self`` when
+        the relation already carries the requested ordering.
+        """
+        wanted = tuple(variables)
+        if self.sort_order[: len(wanted)] == wanted:
+            return self
+        key_columns = [self.columns[self.vars.index(var)] for var in wanted]
+        order = sorted(
+            range(len(self)),
+            key=lambda i: tuple(
+                -1 if column[i] is None else column[i] for column in key_columns
+            ),
+        )
+        columns = [[column[i] for i in order] for column in self.columns]
+        return Relation._from_columns(
+            self.vars, columns, len(order), partitions=self.partitions, sort_order=wanted
         )
 
     # ------------------------------------------------------------ algebra
@@ -255,13 +301,21 @@ class Relation:
     def project(self, variables: Sequence[Variable]) -> "Relation":
         columns, length = kernels.project(self, variables)
         return Relation._from_columns(
-            tuple(variables), columns, length, partitions=self.partitions
+            tuple(variables),
+            columns,
+            length,
+            partitions=self.partitions,
+            sort_order=_order_prefix(self.sort_order, variables),
         )
 
     def distinct(self) -> "Relation":
         columns, length = kernels.distinct(self)
         return Relation._from_columns(
-            self.vars, columns, length, partitions=self.partitions
+            self.vars,
+            columns,
+            length,
+            partitions=self.partitions,
+            sort_order=self.sort_order,
         )
 
     def filter(self, predicate: Callable[[dict[Variable, Term]], bool]) -> "Relation":
@@ -278,7 +332,11 @@ class Relation:
                 keep.append(index)
         columns = [[column[i] for i in keep] for column in self.columns]
         return Relation._from_columns(
-            self.vars, columns, len(keep), partitions=self.partitions
+            self.vars,
+            columns,
+            len(keep),
+            partitions=self.partitions,
+            sort_order=self.sort_order,
         )
 
     def limit(self, limit: int | None, offset: int = 0) -> "Relation":
@@ -286,5 +344,20 @@ class Relation:
         columns = [column[offset:stop] for column in self.columns]
         length = len(range(*slice(offset, stop).indices(len(self))))
         return Relation._from_columns(
-            self.vars, columns, length, partitions=self.partitions
+            self.vars,
+            columns,
+            length,
+            partitions=self.partitions,
+            sort_order=self.sort_order,
         )
+
+
+def _order_prefix(sort_order: tuple, variables: Sequence[Variable]) -> tuple:
+    """Longest leading run of ``sort_order`` fully inside ``variables``."""
+    available = set(variables)
+    kept = []
+    for var in sort_order:
+        if var not in available:
+            break
+        kept.append(var)
+    return tuple(kept)

@@ -81,11 +81,22 @@ class SelectResult:
     variable (e.g. from OPTIONAL).
     """
 
-    __slots__ = ("vars", "rows")
+    __slots__ = ("vars", "rows", "sort_order")
 
-    def __init__(self, vars: Sequence[Variable], rows: Sequence[tuple[Term | None, ...]]):
+    def __init__(
+        self,
+        vars: Sequence[Variable],
+        rows: Sequence[tuple[Term | None, ...]],
+        sort_order: Sequence[Variable] = (),
+    ):
         self.vars = tuple(vars)
         self.rows = list(rows)
+        #: Leading variables the rows are (non-strictly) sorted by, in the
+        #: *producing store's id order* — metadata from compiled plans over
+        #: the sorted backend, ``()`` when no ordering is promised.  Term
+        #: rows re-encoded elsewhere (the mediator codec) keep only the
+        #: grouping implied by this, not numeric order.
+        self.sort_order = tuple(sort_order)
 
     def __len__(self) -> int:
         return len(self.rows)

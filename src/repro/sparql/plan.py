@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from itertools import islice
 from operator import itemgetter
+from time import perf_counter
 from typing import Iterator, Sequence
 
 from repro.exceptions import EvaluationError
@@ -208,6 +209,7 @@ class _ProbeOp:
         "lazy",
         "estimate",
         "pattern_text",
+        "sort_vars",
         "_n_new",
         "_first_new",
         "_extract",
@@ -226,6 +228,11 @@ class _ProbeOp:
         # probe-order audit; filled in by the compiler's BGP walk.
         self.estimate: int | None = None
         self.pattern_text = ""
+        #: Variables this probe's matches arrive sorted by (per input
+        #: row), from :meth:`TripleStore.match_order`; ``None`` when the
+        #: store backend makes no ordering promise.  Feeds the pipeline
+        #: sort-order metadata (:func:`_pipeline_sort_order`).
+        self.sort_vars: tuple | None = None
         self._n_new = len(self.new_positions)
         self._first_new = self.new_positions[0] if self.new_positions else None
         self._extract = itemgetter(*self.new_positions) if self._n_new >= 2 else None
@@ -701,6 +708,85 @@ def _distinct_rows(rows) -> Iterator[IdRow]:
             seen.add(row)
             yield row
 
+
+def _pipeline_sort_order(plan: _GroupPlan) -> tuple:
+    """Variables a pipeline's output rows are sorted by (static walk).
+
+    Every operator except UNION emits its per-input-row output
+    contiguously and in input order, so an established leading sort order
+    survives the rest of the pipeline non-strictly.  While the chain is
+    still *strictly* sorted — seed row through consecutive probes over
+    the sorted store backend, with row-dropping filters in between — each
+    probe's own sorted match iteration extends the order by its fresh
+    positions.  VALUES, OPTIONAL and sub-SELECT joins stop the extension
+    (their per-row outputs have their own ordering) but preserve the
+    prefix; UNION interleaves branches and resets the order entirely.
+    """
+    order: list[Variable] = []
+    seeded = False
+    extendable = False
+    for op in plan.ops:
+        if isinstance(op, _ProbeOp):
+            if not seeded:
+                seeded = True
+                if op.sort_vars is None:
+                    extendable = False
+                else:
+                    order = list(op.sort_vars)
+                    extendable = True
+            elif extendable:
+                if op.sort_vars is None:
+                    extendable = False
+                else:
+                    order.extend(var for var in op.sort_vars if var not in order)
+        elif isinstance(op, (_IdEqOp, _FilterOp, _ExistsFilterOp)):
+            # Row-dropping only: a subsequence of a (strictly) sorted
+            # sequence keeps both the order and its strictness.
+            continue
+        elif isinstance(op, _UnionOp):
+            order = []
+            seeded = True
+            extendable = False
+        elif isinstance(op, _GroupOp):
+            if not seeded:
+                order = list(_pipeline_sort_order(op.plan))
+            seeded = True
+            extendable = False
+        else:  # _ValuesOp / _OptionalOp / _SubSelectOp
+            seeded = True
+            extendable = False
+    return tuple(order)
+
+
+def _ops_shardable(ops) -> bool:
+    """True when chunked ``run_list`` concatenation equals one whole run.
+
+    Every operator processes rows independently and in order except
+    UNION, whose batch form is branch-major over the *whole* input —
+    chunking would interleave branch outputs differently.  Groups are
+    checked recursively; OPTIONAL / EXISTS / sub-SELECT sub-plans run
+    per-row, so their internals don't matter.
+    """
+    for op in ops:
+        if isinstance(op, _UnionOp):
+            return False
+        if isinstance(op, _GroupOp) and not _ops_shardable(op.plan.ops):
+            return False
+    return True
+
+
+def _split_chunks(rows: list, shards: int) -> list[list]:
+    """Split ``rows`` into ``shards`` contiguous, near-even chunks."""
+    size, extra = divmod(len(rows), shards)
+    chunks = []
+    start = 0
+    for index in range(shards):
+        end = start + size + (1 if index < extra else 0)
+        chunks.append(rows[start:end])
+        start = end
+    return chunks
+
+
 # --------------------------------------------------------------------------
 # Compiler
 
@@ -832,7 +918,7 @@ class _Compiler:
         # surviving row: consts matched, slots substituted or patched,
         # fresh columns filled from the match.
         certain.update(pattern.variables())
-        return _ProbeOp(
+        op = _ProbeOp(
             tuple(consts),
             tuple(slots),
             tuple(new_positions),
@@ -840,6 +926,25 @@ class _Compiler:
             maybe_pending,
             self.lazy,
         )
+        # Compile-time sorted-scan metadata: at probe time a position is
+        # bound iff it carries a constant or reads an input slot, so the
+        # store can already say which positions its iteration will be
+        # sorted by.  Map those positions to pattern variables (repeated
+        # variables dedupe to their first sorted position).
+        order = self.store.match_order(
+            consts[0] is not None or slots[0] is not None,
+            consts[1] is not None or slots[1] is not None,
+            consts[2] is not None or slots[2] is not None,
+        )
+        if order is not None:
+            positions = pattern.positions()
+            sort_vars: list[Variable] = []
+            for index in order:
+                variable = positions[index]
+                if isinstance(variable, Variable) and variable not in sort_vars:
+                    sort_vars.append(variable)
+            op.sort_vars = tuple(sort_vars)
+        return op
 
     # ------------------------------------------------------------- VALUES
 
@@ -1038,11 +1143,25 @@ class _Compiler:
                 offset=0,
                 certain_projected=frozenset((aggregate.alias,)),
                 lazy=self.lazy,
+                sort_order=(),
             )
         projected = query.projected_variables()
         pos = {var: i for i, var in enumerate(schema)}
         proj_map = tuple(pos.get(var) for var in projected)
         identity = proj_map == tuple(range(len(schema)))
+        # ORDER BY re-sorts; otherwise projection keeps whatever leading
+        # run of the pipeline's store-id order survives into the output
+        # columns (DISTINCT / OFFSET / LIMIT only drop rows).
+        if query.order_by:
+            sort_order: tuple = ()
+        else:
+            pipeline_order = _pipeline_sort_order(plan)
+            keep = 0
+            for var in pipeline_order:
+                if var not in projected:
+                    break
+                keep += 1
+            sort_order = pipeline_order[:keep]
         return _SelectCore(
             plan=plan,
             aggregate=None,
@@ -1058,6 +1177,7 @@ class _Compiler:
                 var for var in projected if var in plan.out_certain
             ),
             lazy=self.lazy,
+            sort_order=sort_order,
         )
 
     def compile_ask(
@@ -1077,6 +1197,7 @@ class _Compiler:
             offset=0,
             certain_projected=frozenset(),
             lazy=self.lazy,
+            sort_order=(),
         )
 
 
@@ -1144,6 +1265,7 @@ class _SelectCore:
         "offset",
         "certain_projected",
         "lazy",
+        "sort_order",
     )
 
     def __init__(
@@ -1160,6 +1282,7 @@ class _SelectCore:
         offset,
         certain_projected,
         lazy,
+        sort_order=(),
     ):
         self.plan = plan
         self.aggregate = aggregate
@@ -1173,6 +1296,7 @@ class _SelectCore:
         self.offset = offset
         self.certain_projected = certain_projected
         self.lazy = lazy
+        self.sort_order = tuple(sort_order)
 
     def _iter_projected(self, ctx: _ExecutionContext) -> Iterator[IdRow]:
         rows = self.plan.run(ctx, iter(_SEED))
@@ -1193,26 +1317,21 @@ class _SelectCore:
             tuple(None if i is None else row[i] for i in proj_map) for row in rows
         ]
 
-    def id_result(
-        self, ctx: _ExecutionContext, max_rows: int | None = None
-    ) -> tuple[tuple, list]:
-        """Projected schema plus id rows, mirroring the evaluator's
-        ``_select_id_result`` tail exactly (same clause order)."""
-        if self.aggregate is not None:
-            rows = self.plan.run_list(ctx, list(_SEED))
-            aggregate = self.aggregate
-            if aggregate.variable is None:
-                count = len(rows)
-            elif self.agg_slot is None:
-                count = 0
-            else:
-                slot = self.agg_slot
-                values = [row[slot] for row in rows if row[slot] is not None]
-                count = len(set(values)) if aggregate.distinct else len(values)
-            return self.projected, [(ctx.dictionary.encode(typed_literal(count)),)]
-        # Lazy plans stream so ASK / LIMIT stop early; everything else
-        # runs list-at-a-time through the batch operator path.
-        rows = self._iter_projected(ctx) if self.lazy else self._projected_list(ctx)
+    def _aggregate_rows(self, ctx: _ExecutionContext, rows: list) -> list:
+        """COUNT tail over raw (unprojected) pipeline rows."""
+        aggregate = self.aggregate
+        if aggregate.variable is None:
+            count = len(rows)
+        elif self.agg_slot is None:
+            count = 0
+        else:
+            slot = self.agg_slot
+            values = [row[slot] for row in rows if row[slot] is not None]
+            count = len(set(values)) if aggregate.distinct else len(values)
+        return [(ctx.dictionary.encode(typed_literal(count)),)]
+
+    def _finish(self, ctx: _ExecutionContext, rows, max_rows: int | None) -> list:
+        """DISTINCT / ORDER BY / slice tail over projected rows."""
         if self.distinct:
             rows = _distinct_rows(rows)
         if self.order_by:
@@ -1224,7 +1343,7 @@ class _SelectCore:
                 materialized = materialized[: self.limit]
             if max_rows is not None:
                 materialized = materialized[:max_rows]
-            return self.projected, materialized
+            return materialized
         # No ORDER BY: the tail streams, so LIMIT (and the endpoint's
         # result_limit via max_rows) stops pipeline iteration early.
         stop = self.limit
@@ -1234,7 +1353,20 @@ class _SelectCore:
             rows = islice(
                 rows, self.offset, None if stop is None else self.offset + stop
             )
-        return self.projected, list(rows)
+        return list(rows)
+
+    def id_result(
+        self, ctx: _ExecutionContext, max_rows: int | None = None
+    ) -> tuple[tuple, list]:
+        """Projected schema plus id rows, mirroring the evaluator's
+        ``_select_id_result`` tail exactly (same clause order)."""
+        if self.aggregate is not None:
+            rows = self.plan.run_list(ctx, list(_SEED))
+            return self.projected, self._aggregate_rows(ctx, rows)
+        # Lazy plans stream so ASK / LIMIT stop early; everything else
+        # runs list-at-a-time through the batch operator path.
+        rows = self._iter_projected(ctx) if self.lazy else self._projected_list(ctx)
+        return self.projected, self._finish(ctx, rows, max_rows)
 
     def ask(self, ctx: _ExecutionContext) -> bool:
         return next(self.plan.run(ctx, iter(_SEED)), None) is not None
@@ -1277,6 +1409,16 @@ class CompiledPlan:
     def valid(self) -> bool:
         """False once the store mutated after compilation."""
         return self.store.version == self.store_version
+
+    @property
+    def sort_order(self) -> tuple:
+        """Projected variables the result rows are sorted by (id order).
+
+        Non-empty only when the store backend promises sorted match
+        iteration and the compiled pipeline preserves it end to end;
+        mediators use it to chain merge joins without re-sorting.
+        """
+        return self.core.sort_order
 
     def explain(self) -> list[str]:
         """Operator chain of the WHERE pipeline, for tests and debugging."""
@@ -1333,7 +1475,83 @@ class CompiledPlan:
         ctx = _ExecutionContext(self.store, self._encode_params(params))
         projected, id_rows = self.core.id_result(ctx, max_rows)
         decode_row = self.store.dictionary.decode_row
-        return SelectResult(projected, [decode_row(row) for row in id_rows])
+        return SelectResult(
+            projected,
+            [decode_row(row) for row in id_rows],
+            sort_order=self.core.sort_order,
+        )
+
+    def execute_select_sharded(
+        self, params=None, shards: int = 1, max_rows: int | None = None
+    ) -> tuple[SelectResult, list[dict]]:
+        """Run the WHERE pipeline in ``shards`` contiguous input chunks.
+
+        Sharding partitions the pipeline's *input rows* (the seed row, or
+        a passthrough VALUES block / first-probe output), runs the
+        remaining operators chunk by chunk, and concatenates in chunk
+        order — every operator except UNION maps input rows to output
+        rows independently and in order, so the concatenation is
+        byte-identical to the unsharded run.  Returns the result plus one
+        stats dict per shard for the endpoint's lane metrics.  Plans that
+        cannot be sharded safely (UNION, interpretive fallback) run
+        unsharded and report no shard stats.
+        """
+        params = self._resolve_params(params)
+        if (
+            shards <= 1
+            or self.is_ask
+            or _needs_fallback(params)
+            or not _ops_shardable(self.core.plan.ops)
+        ):
+            return self.execute_select(params, max_rows=max_rows), []
+        core = self.core
+        ctx = _ExecutionContext(self.store, self._encode_params(params))
+        ops = core.plan.ops
+        rest = ops
+        base_rows = list(_SEED)
+        if ops and isinstance(ops[0], _ValuesOp) and ops[0].passthrough:
+            base_rows = list(ops[0].rows_for(ctx))
+            rest = ops[1:]
+        elif ops:
+            base_rows = ops[0].run_list(ctx, base_rows)
+            rest = ops[1:]
+        shards = min(shards, max(1, len(base_rows)))
+        shard_stats: list[dict] = []
+        rows: list = []
+        for index, chunk in enumerate(_split_chunks(base_rows, shards)):
+            started = perf_counter()
+            out = chunk
+            for op in rest:
+                if not out:
+                    break
+                out = op.run_list(ctx, out)
+            rows.extend(out)
+            shard_stats.append(
+                {
+                    "shard": index,
+                    "shards": shards,
+                    "input_rows": len(chunk),
+                    "output_rows": len(out),
+                    "seconds": perf_counter() - started,
+                }
+            )
+        if core.aggregate is not None:
+            id_rows = core._aggregate_rows(ctx, rows)
+        else:
+            if not core.identity:
+                proj_map = core.proj_map
+                rows = [
+                    tuple(None if i is None else row[i] for i in proj_map)
+                    for row in rows
+                ]
+            id_rows = core._finish(ctx, rows, max_rows)
+        decode_row = self.store.dictionary.decode_row
+        result = SelectResult(
+            core.projected,
+            [decode_row(row) for row in id_rows],
+            sort_order=core.sort_order,
+        )
+        return result, shard_stats
 
     def execute_ask(self, params=None) -> bool:
         params = self._resolve_params(params)

@@ -1,6 +1,7 @@
 """In-memory indexed triple store and its term dictionary."""
 
 from repro.store.dictionary import TermDictionary
-from repro.store.triple_store import TripleStore
+from repro.store.sorted_runs import SortedRunIndex
+from repro.store.triple_store import MATCH_ORDERS, TripleStore
 
-__all__ = ["TermDictionary", "TripleStore"]
+__all__ = ["MATCH_ORDERS", "SortedRunIndex", "TermDictionary", "TripleStore"]

@@ -1,0 +1,255 @@
+"""Sorted-run columnar index: three parallel ``array('q')`` id columns.
+
+This is the array-backed substrate behind :class:`~repro.store.TripleStore`'s
+default backend.  One :class:`SortedRunIndex` holds one permutation (SPO,
+POS or OSP) as three parallel signed-64-bit columns sorted lexicographically
+by ``(a, b, c)`` — the RDF-3X layout, minus compression.  Compared to the
+nested dict-of-sets indexes it replaces, the run answers every bound-prefix
+probe with binary searches (``bisect`` runs at C speed over ``array``), the
+result of any probe comes back *sorted*, and storage is ~24 bytes/triple of
+columns instead of hundreds of bytes of dict/set overhead.
+
+Mutations do not rewrite the run: inserts land in an unsorted ``tail`` set
+and deletes of run-resident rows land in a ``tombstones`` set.  Probes merge
+the (sorted) run range with the matching tail rows and filter tombstones, so
+results stay sorted and exact.  When either side-structure outgrows an
+amortization bound proportional to the run length, the whole index is
+flushed into one fresh run (an O(n) merge paid once per O(n/8) mutations).
+Bulk loads bypass the tail entirely: :meth:`bulk_insert` merges a pre-sorted
+row block straight into the run, which is how ``TripleStore.add_all`` builds
+each permutation with one sort and no per-row dict churn.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from bisect import bisect_left, bisect_right
+from itertools import islice
+from typing import Iterable, Iterator, Sequence
+
+IdRow = tuple  # (a, b, c) in this index's permutation order
+
+#: Tail/tombstone growth bound: flush once a side structure exceeds
+#: ``max(_MIN_TAIL, run_length // _TAIL_FRACTION)``.  The floor keeps tiny
+#: stores from flushing constantly; the fraction keeps the amortized cost of
+#: incremental mutation at O(_TAIL_FRACTION) array writes per row.
+_MIN_TAIL = 1024
+_TAIL_FRACTION = 8
+
+
+class SortedRunIndex:
+    """One permutation index: a sorted run plus tail/tombstone deltas."""
+
+    __slots__ = ("_a", "_b", "_c", "tail", "tombstones")
+
+    def __init__(self) -> None:
+        self._a = array("q")
+        self._b = array("q")
+        self._c = array("q")
+        #: Rows inserted since the last flush (disjoint from the run).
+        self.tail: set[IdRow] = set()
+        #: Run-resident rows deleted since the last flush.
+        self.tombstones: set[IdRow] = set()
+
+    # ------------------------------------------------------------ inspection
+
+    def __len__(self) -> int:
+        return len(self._a) - len(self.tombstones) + len(self.tail)
+
+    @property
+    def run_length(self) -> int:
+        """Rows physically in the sorted run (tombstoned rows included)."""
+        return len(self._a)
+
+    @property
+    def is_compact(self) -> bool:
+        """True when every row lives in the run (fast paths apply)."""
+        return not self.tail and not self.tombstones
+
+    def columns(self) -> tuple[memoryview, memoryview, memoryview]:
+        """Read-only memoryviews over the run columns (kernel surface)."""
+        return (
+            memoryview(self._a).toreadonly(),
+            memoryview(self._b).toreadonly(),
+            memoryview(self._c).toreadonly(),
+        )
+
+    def nbytes(self) -> int:
+        """Bytes held by the run columns (the dominant storage term)."""
+        return self._a.itemsize * (len(self._a) + len(self._b) + len(self._c))
+
+    # ------------------------------------------------------------- mutation
+
+    def add(self, row: IdRow) -> None:
+        """Insert ``row``; the caller guarantees it is not already present."""
+        if row in self.tombstones:
+            # Re-adding a previously removed run-resident row: resurrect it.
+            self.tombstones.remove(row)
+            return
+        self.tail.add(row)
+        if len(self.tail) > self._delta_limit():
+            self.flush()
+
+    def remove(self, row: IdRow) -> None:
+        """Delete ``row``; the caller guarantees it is present."""
+        if row in self.tail:
+            self.tail.remove(row)
+            return
+        self.tombstones.add(row)
+        if len(self.tombstones) > self._delta_limit():
+            self.flush()
+
+    def contains(self, row: IdRow) -> bool:
+        if row in self.tail:
+            return True
+        if row in self.tombstones:
+            return False
+        lo, hi = self._bounds(row)
+        return lo < hi
+
+    def _delta_limit(self) -> int:
+        return max(_MIN_TAIL, len(self._a) // _TAIL_FRACTION)
+
+    def flush(self) -> None:
+        """Merge tail and tombstones into one fresh sorted run."""
+        if self.is_compact:
+            return
+        rows = list(heapq.merge(self._iter_run_live(), sorted(self.tail)))
+        self._rebuild(rows)
+
+    def bulk_insert(self, rows: Sequence[IdRow]) -> None:
+        """Merge a sorted, deduplicated block of new rows into the run.
+
+        ``rows`` must be sorted in this permutation's order and disjoint
+        from the rows already present.  An empty index takes the columns
+        straight from the block (the bulk-load fast path: one sort done by
+        the caller, three array builds here, zero per-row overhead).
+        """
+        if not rows:
+            self.flush()
+            return
+        if len(self._a) == 0 and not self.tail:
+            self._rebuild(rows)
+            return
+        merged = list(heapq.merge(self._iter_run_live(), sorted(self.tail), rows))
+        self._rebuild(merged)
+
+    def _rebuild(self, rows: Sequence[IdRow]) -> None:
+        self._a = array("q", [row[0] for row in rows])
+        self._b = array("q", [row[1] for row in rows])
+        self._c = array("q", [row[2] for row in rows])
+        self.tail.clear()
+        self.tombstones.clear()
+
+    def clear(self) -> None:
+        self._rebuild(())
+
+    # --------------------------------------------------------------- probes
+
+    def _bounds(self, prefix: Sequence[int]) -> tuple[int, int]:
+        """Run row range ``[lo, hi)`` matching a 0-3 id prefix.
+
+        Level-by-level narrowing: within the rows where column ``a`` equals
+        the first key, column ``b`` is itself sorted, so each level is one
+        ``bisect_left`` + ``bisect_right`` pair over the narrowed range.
+        """
+        lo, hi = 0, len(self._a)
+        for column, key in zip((self._a, self._b, self._c), prefix):
+            if lo == hi:
+                break
+            lo = bisect_left(column, key, lo, hi)
+            hi = bisect_right(column, key, lo, hi)
+        return lo, hi
+
+    def _iter_run_live(self) -> Iterator[IdRow]:
+        rows = zip(self._a, self._b, self._c)
+        if not self.tombstones:
+            return rows
+        tombstones = self.tombstones
+        return (row for row in rows if row not in tombstones)
+
+    def _iter_run_range(self, lo: int, hi: int) -> Iterator[IdRow]:
+        rows = zip(self._a[lo:hi], self._b[lo:hi], self._c[lo:hi])
+        if not self.tombstones:
+            return rows
+        tombstones = self.tombstones
+        return (row for row in rows if row not in tombstones)
+
+    def iter_prefix(self, prefix: Sequence[int] = ()) -> Iterator[IdRow]:
+        """Iterate rows matching an id prefix, sorted in permutation order."""
+        lo, hi = self._bounds(prefix)
+        run_rows = self._iter_run_range(lo, hi)
+        if not self.tail:
+            return run_rows
+        k = len(prefix)
+        key = tuple(prefix)
+        tail_rows = sorted(row for row in self.tail if row[:k] == key)
+        if not tail_rows:
+            return run_rows
+        return heapq.merge(run_rows, tail_rows)
+
+    def thirds(self, first: int, second: int) -> Sequence[int]:
+        """Sorted third-column values for a fully bound two-id prefix."""
+        lo, hi = self._bounds((first, second))
+        if self.is_compact:
+            return self._c[lo:hi]
+        return [row[2] for row in self.iter_prefix((first, second))]
+
+    def count_prefix(self, prefix: Sequence[int] = ()) -> int:
+        lo, hi = self._bounds(prefix)
+        count = hi - lo
+        k = len(prefix)
+        if self.tombstones:
+            key = tuple(prefix)
+            count -= sum(1 for row in self.tombstones if row[:k] == key)
+        if self.tail:
+            key = tuple(prefix)
+            count += sum(1 for row in self.tail if row[:k] == key)
+        return count
+
+    def has_prefix(self, prefix: Sequence[int] = ()) -> bool:
+        return next(iter(self.iter_prefix(prefix)), None) is not None
+
+    # ----------------------------------------------------- distinct values
+
+    def distinct_firsts(self) -> int:
+        """Number of distinct values in the first column."""
+        if self.is_compact:
+            return _count_distinct(self._a)
+        return _count_distinct(row[0] for row in self.iter_prefix(()))
+
+    def iter_distinct_seconds(self, first: int) -> Iterator[int]:
+        """Distinct second-column values under ``first``, ascending."""
+        lo, hi = self._bounds((first,))
+        if self.is_compact:
+            return _iter_distinct(islice(self._b, lo, hi))
+        return _iter_distinct(row[1] for row in self.iter_prefix((first,)))
+
+    def distinct_seconds(self, first: int) -> int:
+        return sum(1 for __ in self.iter_distinct_seconds(first))
+
+
+def _iter_distinct(values: Iterable[int]) -> Iterator[int]:
+    """Distinct values of a sorted iterable (adjacent dedupe)."""
+    previous = None
+    for value in values:
+        if value != previous:
+            previous = value
+            yield value
+
+
+def _count_distinct(values: Iterable[int]) -> int:
+    return sum(1 for __ in _iter_distinct(values))
+
+
+def sort_permutations(rows: Iterable[IdRow]) -> tuple[list, list, list]:
+    """Sort one (s, p, o) row block into all three permutation orders.
+
+    Returns (spo, pos, osp) row lists, each sorted and deduplicated — the
+    bulk-load path: three list sorts total, no per-row index churn.
+    """
+    spo = sorted(set(rows))
+    pos = sorted((p, o, s) for s, p, o in spo)
+    osp = sorted((o, s, p) for s, p, o in spo)
+    return spo, pos, osp

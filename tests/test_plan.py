@@ -402,3 +402,84 @@ class TestEndpointPlanCache:
         endpoint.store.add(Triple(_iri("studentX"), ADVISOR, _iri("profX")))
         assert endpoint.select(query).rows == [(_iri("studentX"), _iri("profX"))]
         assert endpoint.plan_cache.invalidations == 1
+
+
+class TestSortOrderMetadata:
+    """Compiled pipelines carry the sorted backend's ordering promise."""
+
+    def test_single_pattern_plan_is_sorted_by_probe_order(self, store):
+        s, o = Variable("s"), Variable("o")
+        query = SelectQuery(
+            where=GroupPattern([BGP([TriplePattern(s, ADVISOR, o)])]),
+            select_vars=(s, o),
+        )
+        plan = compile_query(store, query)
+        # Predicate-bound probes run on POS: object then subject.
+        assert plan.sort_order == (o, s)
+        result = plan.execute_select()
+        lookup = store.dictionary.lookup
+        ids = [(lookup(row[1]), lookup(row[0])) for row in result.rows]
+        assert ids == sorted(ids)
+
+    def test_dict_backend_plans_promise_nothing(self):
+        dict_store = TripleStore(backend="dict")
+        dict_store.add_all(_university_triples())
+        s, o = Variable("s"), Variable("o")
+        query = SelectQuery(
+            where=GroupPattern([BGP([TriplePattern(s, ADVISOR, o)])]),
+            select_vars=(s, o),
+        )
+        assert compile_query(dict_store, query).sort_order == ()
+
+    def test_values_seeded_plan_has_no_order(self, store):
+        s, o = Variable("s"), Variable("o")
+        query = SelectQuery(
+            where=GroupPattern(
+                [
+                    ValuesPattern((s,), ((_iri("student0_0"),), (_iri("student1_0"),))),
+                    BGP([TriplePattern(s, ADVISOR, o)]),
+                ]
+            ),
+            select_vars=(s, o),
+        )
+        skeleton, params = split_parameters(query)
+        plan = compile_query(store, skeleton)
+        assert plan.sort_order == ()
+        assert len(plan.execute_select(params).rows) == 2
+
+
+class TestShardedPlanExecution:
+    """Plan-level lane chunking equals the whole-run evaluation."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    def test_sharded_equals_serial(self, store, shards):
+        s, p, o = Variable("s"), Variable("p"), Variable("o")
+        query = SelectQuery(
+            where=GroupPattern([BGP([TriplePattern(s, p, o)])]),
+            select_vars=(s, p, o),
+        )
+        plan = compile_query(store, query)
+        serial = plan.execute_select()
+        sharded, stats = plan.execute_select_sharded(shards=shards)
+        assert sharded.vars == serial.vars
+        assert sharded.rows == serial.rows
+        if shards == 1:
+            # Single lane takes the plain path and reports no lane stats.
+            assert stats == []
+            return
+        assert len(stats) <= shards
+        assert sum(entry["output_rows"] for entry in stats) == len(serial.rows)
+        for index, entry in enumerate(stats):
+            assert entry["shard"] == index
+            assert entry["seconds"] >= 0
+
+    def test_sharded_respects_max_rows(self, store):
+        s, o = Variable("s"), Variable("o")
+        query = SelectQuery(
+            where=GroupPattern([BGP([TriplePattern(s, ADVISOR, o)])]),
+            select_vars=(s, o),
+        )
+        plan = compile_query(store, query)
+        capped, __ = plan.execute_select_sharded(shards=3, max_rows=5)
+        assert len(capped.rows) == 5
+        assert capped.rows == plan.execute_select(max_rows=5).rows

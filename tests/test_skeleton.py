@@ -1,0 +1,154 @@
+"""Skeleton canonicalization of probe-shaped queries.
+
+Check / COUNT / ASK probes differ only in variable names and embedded
+constants; :mod:`repro.sparql.skeleton` renames the variables to a
+positional ``__q*`` alphabet and lifts BGP constants into a one-row
+VALUES parameter block, so whole probe *families* share one compiled
+plan.  These tests pin the rewrite, the result restoration, and the
+endpoint-level plan-cache collapse — and that full retrieval SELECTs are
+deliberately left alone.
+"""
+
+from repro.endpoint import Endpoint
+from repro.rdf import IRI, Triple, Variable
+from repro.sparql import parse_query
+from repro.sparql.ast import ValuesPattern
+from repro.sparql.plan import split_parameters
+from repro.sparql.skeleton import canonicalize_query
+
+EX = "http://ex.org/"
+
+
+def iri(name):
+    return IRI(EX + name)
+
+
+def make_endpoint():
+    return Endpoint(
+        "ep",
+        [
+            Triple(iri("a"), iri("p"), iri("x")),
+            Triple(iri("b"), iri("p"), iri("y")),
+            Triple(iri("a"), iri("q"), iri("y")),
+        ],
+    )
+
+
+class TestCanonicalForm:
+    def test_variables_renamed_positionally(self):
+        query = parse_query("ASK WHERE { ?person <http://ex.org/p> ?thing }")
+        canonical = canonicalize_query(query)
+        assert canonical is not None
+        names = {v.name for v in canonical.rename.values()}
+        assert names == {"__q0", "__q1"}
+        # Inverse mapping goes back to the original names.
+        assert {v.name for v in canonical.inverse.values()} == {"person", "thing"}
+
+    def test_renaming_is_injective(self):
+        query = parse_query("ASK WHERE { ?a ?b ?c . ?c ?d ?a }")
+        canonical = canonicalize_query(query)
+        renamed = list(canonical.rename.values())
+        assert len(renamed) == len(set(renamed)) == 4
+
+    def test_constants_lifted_into_values(self):
+        query = parse_query(
+            "ASK WHERE { <http://ex.org/a> <http://ex.org/p> <http://ex.org/x> }"
+        )
+        canonical = canonicalize_query(query)
+        values = canonical.query.where.elements[0]
+        assert isinstance(values, ValuesPattern)
+        assert [v.name for v in values.vars] == ["__c0", "__c1"]
+        assert values.rows == ((iri("a"), iri("x")),)
+        # Predicates are never lifted: they drive index selection.
+        pattern = canonical.query.where.elements[1].triples[0]
+        assert pattern.predicate == iri("p")
+
+    def test_probe_family_shares_one_skeleton(self):
+        variants = [
+            "ASK WHERE { <http://ex.org/a> <http://ex.org/p> ?o }",
+            "ASK WHERE { <http://ex.org/b> <http://ex.org/p> ?bigname }",
+            "ASK WHERE { <http://ex.org/zz> <http://ex.org/p> ?x }",
+        ]
+        skeletons = set()
+        for text in variants:
+            canonical = canonicalize_query(parse_query(text))
+            skeleton, __ = split_parameters(canonical.query)
+            skeletons.add(skeleton)
+        assert len(skeletons) == 1
+
+    def test_bound_join_values_queries_are_left_alone(self):
+        from repro.sparql.ast import BGP, GroupPattern, SelectQuery, TriplePattern
+
+        s, o = Variable("s"), Variable("o")
+        query = SelectQuery(
+            where=GroupPattern(
+                [
+                    ValuesPattern((s,), ((iri("a"),),)),
+                    BGP([TriplePattern(s, iri("p"), o)]),
+                ]
+            ),
+            select_vars=(s, o),
+        )
+        assert canonicalize_query(query) is None
+
+
+class TestEndpointProbeCollapse:
+    def test_count_probes_compile_once(self):
+        endpoint = make_endpoint()
+        counts = []
+        for subject in ("a", "b", "zz"):
+            query = parse_query(
+                "SELECT (COUNT(*) AS ?n) WHERE { "
+                f"<http://ex.org/{subject}> <http://ex.org/p> ?o }}"
+            )
+            result = endpoint.select(query)
+            counts.append(int(result.rows[0][0].value))
+        assert counts == [1, 1, 0]
+        hits, misses, *__ = endpoint.plan_stats()
+        assert misses == 1  # one probe shape, compiled once
+        assert hits == 2
+
+    def test_ask_probes_compile_once(self):
+        endpoint = make_endpoint()
+        answers = [
+            endpoint.ask(
+                parse_query(f"ASK WHERE {{ <http://ex.org/{s}> <http://ex.org/p> ?o }}")
+            )
+            for s in ("a", "b", "zz")
+        ]
+        assert answers == [True, True, False]
+        hits, misses, *__ = endpoint.plan_stats()
+        assert misses == 1
+        assert hits == 2
+
+    def test_restored_result_keeps_original_variables(self):
+        endpoint = make_endpoint()
+        # A LIMIT-1 EXISTS check (the locality probe shape).
+        query = parse_query(
+            "SELECT ?who WHERE { ?who <http://ex.org/p> ?o . "
+            "FILTER EXISTS { ?who <http://ex.org/q> ?z } } LIMIT 1"
+        )
+        result = endpoint.select(query)
+        assert [v.name for v in result.vars] == ["who"]
+        assert result.rows == [(iri("a"),)]
+
+    def test_full_selects_are_not_canonicalized(self):
+        endpoint = make_endpoint()
+        for subject in ("a", "b"):
+            endpoint.select(
+                parse_query(
+                    f"SELECT ?o WHERE {{ <http://ex.org/{subject}> <http://ex.org/p> ?o }}"
+                )
+            )
+        __, misses, *___ = endpoint.plan_stats()
+        # Different constants, different skeletons: one compile each.
+        assert misses == 2
+
+    def test_count_results_match_uncanonicalized_store(self):
+        endpoint = make_endpoint()
+        query = parse_query(
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://ex.org/p> ?o }"
+        )
+        result = endpoint.select(query)
+        assert int(result.rows[0][0].value) == 2
+        assert [v.name for v in result.vars] == ["n"]

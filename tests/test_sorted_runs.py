@@ -1,0 +1,279 @@
+"""Unit and property tests for the array-backed sorted-run substrate.
+
+Covers :class:`repro.store.sorted_runs.SortedRunIndex` directly (runs,
+delta tail, tombstones, flush compaction, bulk loading, prefix probes)
+and the :class:`~repro.store.TripleStore` ``backend=`` seam: the sorted
+backend must be observationally identical to the dict oracle across
+every probe shape, and the sorted-only ordering contracts
+(``match_order`` / ``scan_ids`` / ``range_ids``) must hold.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import IRI, Triple
+from repro.store import TripleStore
+from repro.store.sorted_runs import SortedRunIndex, sort_permutations
+
+
+def rows(*triples):
+    return [tuple(t) for t in triples]
+
+
+class TestSortedRunIndex:
+    def test_add_contains_len(self):
+        idx = SortedRunIndex()
+        idx.add((1, 2, 3))
+        idx.add((1, 2, 4))
+        assert len(idx) == 2
+        assert idx.contains((1, 2, 3))
+        assert not idx.contains((9, 9, 9))
+
+    def test_add_duplicate_is_idempotent(self):
+        idx = SortedRunIndex()
+        idx.add((1, 2, 3))
+        idx.add((1, 2, 3))
+        assert len(idx) == 1
+        assert list(idx.iter_prefix()) == [(1, 2, 3)]
+
+    def test_iter_prefix_merges_run_and_tail_sorted(self):
+        idx = SortedRunIndex()
+        idx.bulk_insert([(1, 1, 1), (3, 3, 3), (5, 5, 5)])
+        # These land in the un-flushed delta tail.
+        idx.add((2, 2, 2))
+        idx.add((4, 4, 4))
+        assert not idx.is_compact
+        assert list(idx.iter_prefix()) == [
+            (1, 1, 1),
+            (2, 2, 2),
+            (3, 3, 3),
+            (4, 4, 4),
+            (5, 5, 5),
+        ]
+
+    def test_prefix_probes(self):
+        idx = SortedRunIndex()
+        idx.bulk_insert([(1, 1, 1), (1, 1, 2), (1, 2, 1), (2, 1, 1)])
+        assert list(idx.iter_prefix((1,))) == [(1, 1, 1), (1, 1, 2), (1, 2, 1)]
+        assert list(idx.iter_prefix((1, 1))) == [(1, 1, 1), (1, 1, 2)]
+        assert list(idx.iter_prefix((1, 1, 2))) == [(1, 1, 2)]
+        assert count_all(idx) == 4
+        assert idx.count_prefix((1,)) == 3
+        assert idx.count_prefix((1, 1)) == 2
+        assert idx.count_prefix((9,)) == 0
+        assert idx.has_prefix((2,))
+        assert not idx.has_prefix((3,))
+        assert list(idx.thirds(1, 1)) == [1, 2]
+        assert list(idx.thirds(9, 9)) == []
+
+    def test_remove_from_run_uses_tombstone(self):
+        idx = SortedRunIndex()
+        idx.bulk_insert([(1, 1, 1), (2, 2, 2)])
+        idx.remove((1, 1, 1))
+        assert len(idx) == 1
+        assert not idx.contains((1, 1, 1))
+        assert list(idx.iter_prefix()) == [(2, 2, 2)]
+        assert idx.count_prefix((1,)) == 0
+        assert not idx.has_prefix((1,))
+
+    def test_add_resurrects_tombstoned_row(self):
+        idx = SortedRunIndex()
+        idx.bulk_insert([(1, 1, 1), (2, 2, 2)])
+        idx.remove((1, 1, 1))
+        idx.add((1, 1, 1))
+        assert len(idx) == 2
+        assert idx.contains((1, 1, 1))
+        assert list(idx.iter_prefix()) == [(1, 1, 1), (2, 2, 2)]
+
+    def test_remove_from_tail(self):
+        idx = SortedRunIndex()
+        idx.bulk_insert([(1, 1, 1)])
+        idx.add((2, 2, 2))  # tail row
+        idx.remove((2, 2, 2))
+        assert len(idx) == 1
+        assert list(idx.iter_prefix()) == [(1, 1, 1)]
+
+    def test_flush_compacts(self):
+        idx = SortedRunIndex()
+        idx.bulk_insert([(1, 1, 1), (3, 3, 3)])
+        idx.add((2, 2, 2))
+        idx.remove((3, 3, 3))
+        assert not idx.is_compact
+        idx.flush()
+        assert idx.is_compact
+        assert idx.run_length == 2
+        assert list(idx.iter_prefix()) == [(1, 1, 1), (2, 2, 2)]
+
+    def test_delta_limit_triggers_automatic_flush(self):
+        idx = SortedRunIndex()
+        # The tail is bounded by max(1024, run/8); exceeding it compacts.
+        for i in range(1100):
+            idx.add((i, i, i))
+        assert idx.run_length > 0
+        assert len(idx) == 1100
+        assert list(idx.iter_prefix())[:2] == [(0, 0, 0), (1, 1, 1)]
+
+    def test_bulk_insert_into_empty_adopts_block(self):
+        # bulk_insert's contract: the caller pre-sorts and dedupes.
+        idx = SortedRunIndex()
+        idx.bulk_insert([(1, 1, 1), (2, 2, 2), (3, 3, 3)])
+        assert idx.is_compact
+        assert idx.run_length == 3
+        assert list(idx.iter_prefix()) == [(1, 1, 1), (2, 2, 2), (3, 3, 3)]
+
+    def test_bulk_insert_merges_with_existing_run(self):
+        idx = SortedRunIndex()
+        idx.bulk_insert([(1, 1, 1), (4, 4, 4)])
+        idx.bulk_insert([(2, 2, 2), (3, 3, 3)])
+        assert list(idx.iter_prefix()) == [
+            (1, 1, 1),
+            (2, 2, 2),
+            (3, 3, 3),
+            (4, 4, 4),
+        ]
+
+    def test_columns_are_readonly_and_sized(self):
+        idx = SortedRunIndex()
+        idx.bulk_insert([(1, 2, 3), (4, 5, 6)])
+        a, b, c = idx.columns()
+        assert list(a) == [1, 4]
+        assert list(b) == [2, 5]
+        assert list(c) == [3, 6]
+        with pytest.raises(TypeError):
+            a[0] = 9
+        assert idx.nbytes() > 0
+
+    def test_distinct_helpers(self):
+        idx = SortedRunIndex()
+        idx.bulk_insert([(1, 1, 1), (1, 2, 1), (1, 2, 2), (2, 1, 1)])
+        assert idx.distinct_firsts() == 2
+        assert list(idx.iter_distinct_seconds(1)) == [1, 2]
+        assert idx.distinct_seconds(1) == 2
+        assert idx.distinct_seconds(9) == 0
+
+    def test_clear(self):
+        idx = SortedRunIndex()
+        idx.bulk_insert([(1, 1, 1)])
+        idx.add((2, 2, 2))
+        idx.clear()
+        assert len(idx) == 0
+        assert list(idx.iter_prefix()) == []
+        assert idx.is_compact
+
+
+def count_all(idx):
+    return idx.count_prefix(())
+
+
+def test_sort_permutations_sorts_and_dedupes():
+    spo, pos, osp = sort_permutations([(2, 1, 3), (1, 2, 3), (2, 1, 3), (1, 1, 1)])
+    assert spo == [(1, 1, 1), (1, 2, 3), (2, 1, 3)]
+    assert pos == [(1, 1, 1), (1, 3, 2), (2, 3, 1)]
+    assert osp == [(1, 1, 1), (3, 1, 2), (3, 2, 1)]
+
+
+_ids = st.integers(min_value=0, max_value=6)
+_rows = st.tuples(_ids, _ids, _ids)
+
+
+@given(st.lists(_rows, max_size=50), st.lists(_rows, max_size=20))
+@settings(max_examples=80, deadline=None)
+def test_property_index_is_a_sorted_set(inserted, removed):
+    idx = SortedRunIndex()
+    model = set()
+    for row in inserted:
+        idx.add(row)
+        model.add(row)
+    for row in removed:
+        idx.remove(row) if row in model else None
+        model.discard(row)
+    assert len(idx) == len(model)
+    assert list(idx.iter_prefix()) == sorted(model)
+    for first in range(7):
+        expected = sorted(r for r in model if r[0] == first)
+        assert list(idx.iter_prefix((first,))) == expected
+        assert idx.count_prefix((first,)) == len(expected)
+        assert idx.has_prefix((first,)) == bool(expected)
+
+
+# --------------------------------------------------------- backend seam
+
+
+def iri(i):
+    return IRI(f"http://ex.org/{i}")
+
+
+_triples = st.builds(Triple, _ids.map(iri), _ids.map(iri), _ids.map(iri))
+
+
+def test_backend_validation():
+    with pytest.raises(ValueError):
+        TripleStore(backend="btree")
+
+
+def test_dict_backend_has_no_order_contract():
+    store = TripleStore(backend="dict")
+    assert store.match_order(False, True, False) is None
+    assert store.index_nbytes() is None
+
+
+def test_sorted_backend_order_contract():
+    store = TripleStore()
+    # predicate-bound probes run on POS: sorted by object then subject.
+    assert store.match_order(False, True, False) == (2, 0)
+    # subject-bound probes run on SPO: sorted by predicate then object.
+    assert store.match_order(True, False, False) == (1, 2)
+    assert store.index_nbytes() is not None
+
+
+@given(st.lists(_triples, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_property_backends_agree_on_every_probe_shape(triples):
+    sorted_store = TripleStore(backend="sorted")
+    dict_store = TripleStore(backend="dict")
+    sorted_store.add_all(triples)
+    dict_store.add_all(triples)
+    assert len(sorted_store) == len(dict_store)
+    probes = [None, iri(0), iri(3), iri(99)]
+    for s in probes:
+        for p in probes:
+            for o in probes:
+                expected = sorted(
+                    map(repr, dict_store.match(s, p, o))
+                )
+                assert sorted(map(repr, sorted_store.match(s, p, o))) == expected
+                assert sorted_store.count(s, p, o) == dict_store.count(s, p, o)
+                assert sorted_store.ask(s, p, o) == dict_store.ask(s, p, o)
+
+
+@given(st.lists(_triples, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_property_scan_and_range_agree_across_backends(triples):
+    sorted_store = TripleStore(backend="sorted")
+    dict_store = TripleStore(backend="dict")
+    sorted_store.add_all(triples)
+    dict_store.add_all(triples)
+    # scan_ids yields identical sorted sequences on both backends; the
+    # dictionaries intern in insertion order so ids line up.
+    for order in ("spo", "pos", "osp"):
+        assert list(sorted_store.scan_ids(order)) == list(dict_store.scan_ids(order))
+    # range_ids is the guaranteed-sorted probe on both backends.
+    for triple in triples[:5]:
+        p_id = sorted_store.dictionary.lookup(triple.predicate)
+        assert list(sorted_store.range_ids(p=p_id)) == list(dict_store.range_ids(p=p_id))
+
+
+@given(st.lists(_triples, max_size=30), st.lists(_triples, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_property_backends_agree_under_mutation(initial, late):
+    sorted_store = TripleStore(backend="sorted")
+    dict_store = TripleStore(backend="dict")
+    sorted_store.add_all(initial)
+    dict_store.add_all(initial)
+    for triple in late:
+        assert sorted_store.add(triple) == dict_store.add(triple)
+    for triple in initial[: len(initial) // 2]:
+        assert sorted_store.remove(triple) == dict_store.remove(triple)
+    assert len(sorted_store) == len(dict_store)
+    assert set(sorted_store) == set(dict_store)
+    assert sorted_store.predicates() == dict_store.predicates()

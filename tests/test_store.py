@@ -141,6 +141,67 @@ class TestStatistics:
         assert store.object_authorities(P2) == set()
 
 
+class TestEdgeCases:
+    def test_duplicate_insertion_leaves_store_unchanged(self):
+        store = make_store()
+        size = len(store)
+        version = store.version
+        assert store.add(Triple(S1, P1, O1)) is False
+        assert len(store) == size
+        # A rejected duplicate must not invalidate cached plans either.
+        assert store.version == version
+        assert store.add_all([Triple(S1, P1, O1), Triple(S2, P1, O1)]) == 0
+
+    def test_zero_match_at_every_bound_position_combo(self):
+        store = make_store()
+        absent = IRI("http://a.org/absent")
+        # Every combination of bound positions where at least one bound
+        # term is absent must yield nothing from match/count/ask alike.
+        for s in (None, absent):
+            for p in (None, absent):
+                for o in (None, absent):
+                    if s is None and p is None and o is None:
+                        continue
+                    assert list(store.match(s, p, o)) == []
+                    assert store.count(s, p, o) == 0
+                    assert not store.ask(s, p, o)
+
+    def test_zero_match_with_interned_but_disjoint_terms(self):
+        # All terms exist in the dictionary, but never together.
+        store = make_store()
+        assert list(store.match(S1, P1, O2)) == []
+        assert list(store.match(S2, P2, None)) == []
+        assert list(store.match(None, P2, O1)) == []
+        assert store.count(S2, P2, O2) == 0
+
+    def test_version_bumps_on_mutation_only(self):
+        store = TripleStore()
+        v0 = store.version
+        store.add(Triple(S1, P1, O1))
+        v1 = store.version
+        assert v1 > v0
+        list(store.match(subject=S1))  # reads never bump
+        assert store.version == v1
+        store.remove(Triple(S1, P1, O1))
+        assert store.version > v1
+
+    def test_post_build_insert_invalidates_cached_plans(self):
+        from repro.endpoint import Endpoint
+        from repro.sparql import parse_query
+
+        endpoint = Endpoint("e0", make_store())
+        query = parse_query(
+            "SELECT ?s WHERE { ?s <http://a.org/p1> <http://a.org/o1> . }"
+        )
+        assert len(endpoint.select(query).rows) == 2
+        # The compiled plan is pinned to store.version: a later insert
+        # must not serve stale rows from the cache.
+        endpoint.add(Triple(IRI("http://a.org/s9"), P1, O1))
+        assert len(endpoint.select(query).rows) == 3
+        endpoint.store.remove(Triple(IRI("http://a.org/s9"), P1, O1))
+        assert len(endpoint.select(query).rows) == 2
+
+
 _iris = st.integers(min_value=0, max_value=8).map(lambda i: IRI(f"http://h.org/r{i}"))
 _triples = st.builds(Triple, _iris, _iris, _iris)
 
