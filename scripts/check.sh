@@ -22,7 +22,13 @@
 # 5. profiles one LUBM query per engine with the estimate audit on and
 #    gates the resulting ProfileReports (status, request counts, rows
 #    shipped, worst q-error) against the committed BENCH_profile.json
-#    (scripts/profile_smoke.py).
+#    (scripts/profile_smoke.py);
+# 6. replays a seeded 10^5-request Zipfian traffic mix through the
+#    concurrent serving layer twice, asserts the two reports are
+#    byte-identical, every result matches serial execution, throughput
+#    is >=2x the one-at-a-time baseline, and gates the counters and
+#    timings against the committed BENCH_serve.json
+#    (scripts/serve_smoke.py).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,5 +57,8 @@ python scripts/chaos_smoke.py
 
 echo "== explain-analyze profile gate =="
 python scripts/profile_smoke.py
+
+echo "== concurrent serving gate =="
+python scripts/serve_smoke.py
 
 echo "check.sh: all green"

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Serving-layer smoke + regression gate (see scripts/check.sh).
+
+Replays a seeded 10⁵-request Zipfian LUBM traffic mix through the
+concurrent serving layer (:mod:`repro.serve`) twice, from two freshly
+built federations and servers, and asserts:
+
+* **bit-identical replay**: the two runs' canonical report JSON match
+  byte for byte — concurrency in virtual time must not leak real-world
+  nondeterminism;
+* **serial identity**: every served result is row-identical to executing
+  that query alone on a serial engine (the sharing layers cannot change
+  answers);
+* **speedup floor**: concurrent throughput with the result cache and
+  cross-query MQO on is at least 2x the one-at-a-time serial baseline;
+* **regression gate**: counters (completed, per-path counts, cache and
+  MQO statistics) must match the committed ``BENCH_serve.json`` exactly,
+  and throughput / makespan / latency percentiles must stay within
+  tolerance.  Any drift means a scheduler, cache, or simulator change —
+  review it, then regenerate with
+  ``python scripts/serve_smoke.py --write-baseline``.
+
+Exits non-zero on any problem; prints a one-line summary otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.datasets import lubm
+from repro.harness.traffic import TrafficConfig, run_traffic, workload_queries
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "BENCH_serve.json"
+REQUESTS = 100_000
+SPEEDUP_FLOOR = 2.0
+#: Relative drift allowed on timing-derived floats (counters are exact).
+FLOAT_TOLERANCE = 0.02
+
+#: (section, key) pairs compared exactly against the baseline.
+EXACT_GATES = [
+    ("totals", "completed"),
+    ("totals", "failed"),
+    ("paths", "cache"),
+    ("paths", "attach"),
+    ("paths", "executed"),
+    ("cache", "hits"),
+    ("cache", "misses"),
+    ("cache", "invalidations"),
+    ("cache", "entries"),
+    ("mqo", "subquery_hits"),
+    ("mqo", "query_attached"),
+]
+
+#: (section, key) pairs compared within FLOAT_TOLERANCE.
+FLOAT_GATES = [
+    ("totals", "makespan_ms"),
+    ("totals", "throughput_per_s"),
+    ("totals", "baseline_serial_ms"),
+    ("totals", "speedup"),
+    ("latency_ms", "p50"),
+    ("latency_ms", "p99"),
+]
+
+
+def build_report():
+    """One full replay from a freshly built federation and server."""
+    federation = lubm.build_federation(4, seed=42)
+    queries = workload_queries("lubm")
+    config = TrafficConfig(requests=REQUESTS, tenants=4, seed=0)
+    report, __, __ = run_traffic(federation, queries, config)
+    return report
+
+
+def check_report(report, problems: list[str]) -> None:
+    totals = report["totals"]
+    if totals["results_match_serial"] is not True:
+        problems.append("served results are NOT identical to serial execution")
+    if totals["failed"]:
+        problems.append(f"{totals['failed']} requests failed on a fault-free replay")
+    if totals["speedup"] < SPEEDUP_FLOOR:
+        problems.append(
+            f"speedup {totals['speedup']:.2f}x below the {SPEEDUP_FLOOR:.1f}x floor"
+        )
+
+
+def gate(report, problems: list[str]) -> None:
+    if not BASELINE.exists():
+        problems.append(
+            "BENCH_serve.json baseline missing from repo root "
+            "(generate with --write-baseline)"
+        )
+        return
+    baseline = json.loads(BASELINE.read_text())
+    for section, key in EXACT_GATES:
+        current = report[section][key]
+        expected = baseline.get(section, {}).get(key)
+        if current != expected:
+            problems.append(
+                f"{section}.{key}: {current!r} != baseline {expected!r}"
+            )
+    for section, key in FLOAT_GATES:
+        current = report[section][key]
+        expected = baseline.get(section, {}).get(key)
+        if expected is None:
+            problems.append(f"{section}.{key}: missing from baseline")
+            continue
+        lo = expected / (1.0 + FLOAT_TOLERANCE) - 1e-9
+        hi = expected * (1.0 + FLOAT_TOLERANCE) + 1e-9
+        if not lo <= current <= hi:
+            problems.append(
+                f"{section}.{key}: {current:.3f} drifted from baseline "
+                f"{expected:.3f} (±{FLOAT_TOLERANCE:.0%} allowed)"
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate BENCH_serve.json instead of gating against it",
+    )
+    args = parser.parse_args()
+
+    first = build_report()
+
+    if args.write_baseline:
+        BASELINE.write_text(first.to_json() + "\n")
+        print(f"serve smoke: wrote baseline {BASELINE}")
+        return 0
+
+    second = build_report()
+    problems: list[str] = []
+    if first.to_json() != second.to_json():
+        problems.append("two fresh replays are not byte-identical")
+    check_report(first, problems)
+    gate(first.data, problems)
+
+    if problems:
+        for problem in problems:
+            print(f"serve smoke: {problem}", file=sys.stderr)
+        return 1
+    totals = first["totals"]
+    print(
+        f"serve smoke: ok ({REQUESTS} requests replayed bit-identically; "
+        f"{totals['throughput_per_s']:.0f} q/s, speedup "
+        f"{totals['speedup']:.2f}x, results serial-identical)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

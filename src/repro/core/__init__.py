@@ -4,6 +4,11 @@ from repro.core.engine import LusailConfig, LusailEngine, QueryPlanInfo
 
 __all__ = ["LusailConfig", "LusailEngine", "QueryPlanInfo"]
 
-from repro.core.mqo import BatchOutcome, MultiQueryExecutor, SharedSubqueryCache
+from repro.core.mqo import (
+    BatchOutcome,
+    MultiQueryExecutor,
+    SharedSubqueryCache,
+    SubqueryMatcher,
+)
 
-__all__ += ["BatchOutcome", "MultiQueryExecutor", "SharedSubqueryCache"]
+__all__ += ["BatchOutcome", "MultiQueryExecutor", "SharedSubqueryCache", "SubqueryMatcher"]

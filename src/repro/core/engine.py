@@ -497,24 +497,13 @@ class LusailEngine(FederatedEngine):
         the same probe requests an execution would, and warming the same
         caches) but stops before any subquery is evaluated.
         """
-        from repro.endpoint.client import FederationClient
-        from repro.net.metrics import QueryMetrics
         from repro.planning.normalize import normalize
         from repro.sparql.parser import parse_query as _parse
 
         if isinstance(query, str):
             query = _parse(query)
         normalized = normalize(query)
-        client = FederationClient(
-            federation=self.federation,
-            config=self.network_config,
-            caches=self.caches,
-            timeout_ms=self.timeout_ms,
-            metrics=QueryMetrics(),
-            tracer=self.tracer,
-            registry=self.registry,
-            engine=self.name,
-        )
+        client = self.build_client()
         lines: list[str] = []
         for branch_index, branch in enumerate(normalized.branches):
             lines.append(f"branch {branch_index}:")

@@ -7,6 +7,15 @@ endpoints).  The multi-query executor evaluates each distinct *eager*
 subquery once per batch and shares the shipped relation across queries,
 on top of the ASK/check/COUNT caches the engine already shares.
 
+Matching goes through :class:`SubqueryMatcher`, which keys subqueries on
+their **canonical skeleton** (:func:`repro.sparql.skeleton.canonicalize_query`)
+rather than raw structure: two subqueries that differ only in variable
+names share one key, while embedded constants stay part of the key as
+lifted VALUES data and the relevant-endpoint set always participates.
+The same matcher drives in-flight cross-query sharing in the serving
+layer (:mod:`repro.serve`), so batch MQO and concurrent MQO recognize
+exactly the same overlaps.
+
 Delayed subqueries are not shared: their results depend on the bindings
 found by the rest of their own query.
 """
@@ -18,32 +27,131 @@ from dataclasses import dataclass, field
 from repro.core.engine import LusailEngine
 from repro.core.execution.scheduler import BranchScheduler
 from repro.planning.base_engine import ExecutionOutcome
+from repro.rdf.terms import Variable
 from repro.relational.relation import Relation
 from repro.sparql.ast import SelectQuery
+from repro.sparql.skeleton import canonicalize_query
+
+
+class SubqueryMatcher:
+    """Canonical-skeleton keys for cross-query subquery matching.
+
+    ``canonical(subquery)`` returns ``(key, rename)``: a hashable key
+    two structurally-equivalent subqueries share regardless of variable
+    naming, and the injective original→canonical variable map needed to
+    translate relations between the two namings.  Keys always include
+    the subquery's relevant-endpoint set — the same patterns evaluated
+    against different sources ship different relations.
+
+    Canonicalization is memoized on the raw structural key, so repeated
+    lookups for the same decomposition output are dictionary-cheap.
+    """
+
+    __slots__ = ("_memo",)
+
+    def __init__(self):
+        self._memo: dict[tuple, tuple] = {}
+
+    @staticmethod
+    def raw_key(subquery) -> tuple:
+        return (subquery.patterns, subquery.filters, subquery.sources)
+
+    @staticmethod
+    def _occurrence_order(subquery) -> tuple:
+        """All subquery variables, ordered by first occurrence in the
+        patterns (then filters).  Projecting the skeleton query in this
+        order keeps the canonical rename independent of the original
+        variable *names* — a sorted SELECT * projection would leak them.
+        """
+        order: list = []
+        seen: set = set()
+        for pattern in subquery.patterns:
+            for term in (pattern.subject, pattern.predicate, pattern.object):
+                if isinstance(term, Variable) and term not in seen:
+                    seen.add(term)
+                    order.append(term)
+        for expression in subquery.filters:
+            for variable in sorted(
+                expression.variables() - seen, key=lambda v: v.name
+            ):
+                seen.add(variable)
+                order.append(variable)
+        return tuple(order)
+
+    def canonical(self, subquery) -> tuple[tuple, dict]:
+        raw = self.raw_key(subquery)
+        entry = self._memo.get(raw)
+        if entry is None:
+            query = subquery.to_select(self._occurrence_order(subquery))
+            canon = canonicalize_query(query)
+            if canon is None:  # defensive: to_select(()) has no VALUES
+                entry = (("raw", raw), {})
+            else:
+                entry = (("skeleton", canon.query, subquery.sources), canon.rename)
+            self._memo[raw] = entry
+        return entry
+
+    def key(self, subquery) -> tuple:
+        return self.canonical(subquery)[0]
 
 
 @dataclass
 class SharedSubqueryCache:
-    """Batch-scoped store of evaluated subquery relations."""
+    """Batch-scoped store of evaluated subquery relations.
 
+    Relations are stored under **canonical** variable names; lookups
+    rename them (column adoption, no row copies) into the requesting
+    subquery's own namespace.
+    """
+
+    matcher: SubqueryMatcher = field(default_factory=SubqueryMatcher)
     relations: dict[tuple, Relation] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
 
-    @staticmethod
-    def key(subquery) -> tuple:
-        return (subquery.patterns, subquery.filters, subquery.sources)
+    def key(self, subquery) -> tuple:
+        return self.matcher.key(subquery)
 
-    def get(self, subquery) -> Relation | None:
-        relation = self.relations.get(self.key(subquery))
-        if relation is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return relation
+    def get(self, subquery, projection) -> Relation | None:
+        """A cached relation covering ``projection``, renamed for the
+        requester, or None (counted as a miss)."""
+        key, rename = self.matcher.canonical(subquery)
+        cached = self.relations.get(key)
+        if cached is not None:
+            needed = {rename.get(var, var) for var in projection}
+            if needed <= set(cached.vars):
+                self.hits += 1
+                return self._rename(cached, rename, tuple(projection))
+        self.misses += 1
+        return None
+
+    @staticmethod
+    def _rename(cached: Relation, rename: dict, projection: tuple) -> Relation:
+        inverse = {canon: orig for orig, canon in rename.items()}
+        requester_vars = tuple(inverse.get(var, var) for var in cached.vars)
+        # The relation is already on the mediator: no remote requests,
+        # no added virtual time.  Adopt the cached columns under the
+        # requester's names — relational operators never mutate inputs.
+        renamed = Relation._from_columns(
+            requester_vars, cached.columns, len(cached), partitions=cached.partitions
+        )
+        if requester_vars == projection:
+            return renamed
+        # Narrower need: re-project (a per-column copy).
+        reused = renamed.project(projection)
+        reused.partitions = cached.partitions
+        return reused
 
     def put(self, subquery, relation: Relation) -> None:
-        self.relations[self.key(subquery)] = relation
+        """Store ``relation`` unless a wider projection is already cached."""
+        key, rename = self.matcher.canonical(subquery)
+        existing = self.relations.get(key)
+        if existing is not None and len(existing.vars) > len(relation.vars):
+            return
+        canonical_vars = tuple(rename.get(var, var) for var in relation.vars)
+        self.relations[key] = Relation._from_columns(
+            canonical_vars, relation.columns, len(relation), partitions=relation.partitions
+        )
 
 
 class _SharingScheduler(BranchScheduler):
@@ -57,29 +165,15 @@ class _SharingScheduler(BranchScheduler):
             sorted(subquery.variables(), key=lambda v: v.name)
         )
         if cache is not None and subquery.optional_group is None:
-            cached = cache.relations.get(cache.key(subquery))
-            if cached is not None and set(projection) <= set(cached.vars):
-                # The relation is already on the mediator: no remote
-                # requests, no added virtual time.
-                cache.hits += 1
-                if tuple(projection) == cached.vars:
-                    # Same schema: share the cached columns outright —
-                    # relational operators never mutate their inputs.
-                    return cached, at_ms
-                # Narrower need: re-project (a per-column copy).
-                reused = cached.project(projection)
-                reused.partitions = cached.partitions
+            reused = cache.get(subquery, projection)
+            if reused is not None:
                 return reused, at_ms
-            cache.misses += 1
         if kind is None:
             relation, end = super()._execute_subquery(subquery, at_ms)
         else:
             relation, end = super()._execute_subquery(subquery, at_ms, kind)
         if cache is not None and subquery.optional_group is None and not subquery.delayed:
-            existing = cache.relations.get(cache.key(subquery))
-            # Keep the widest fetched projection for maximal reuse.
-            if existing is None or len(relation.vars) >= len(existing.vars):
-                cache.put(subquery, relation)
+            cache.put(subquery, relation)
         return relation, end
 
 

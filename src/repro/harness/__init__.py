@@ -29,6 +29,13 @@ from repro.harness.runner import (
     run_matrix,
     run_query,
 )
+from repro.harness.traffic import (
+    TrafficConfig,
+    TrafficReport,
+    generate_arrivals,
+    run_traffic,
+    workload_queries,
+)
 
 __all__ = [
     "BASELINE_PROFILE",
@@ -38,6 +45,9 @@ __all__ = [
     "ENGINE_ORDER",
     "ProfiledRun",
     "RunResult",
+    "TrafficConfig",
+    "TrafficReport",
+    "generate_arrivals",
     "format_table",
     "profile_query",
     "profile_workload",
@@ -50,6 +60,8 @@ __all__ = [
     "results_to_json",
     "run_matrix",
     "run_query",
+    "run_traffic",
     "speedup_summary",
+    "workload_queries",
     "write_profile_reports",
 ]

@@ -19,6 +19,7 @@ from repro.net.regions import (
     rtt_ms,
 )
 from repro.net.simulator import (
+    LaneBook,
     MediatorCostModel,
     NetworkConfig,
     VirtualNetwork,
@@ -34,6 +35,7 @@ __all__ = [
     "CHECK",
     "COUNT",
     "LOCAL",
+    "LaneBook",
     "MediatorCostModel",
     "NetworkConfig",
     "QueryMetrics",

@@ -152,6 +152,31 @@ class QueryMetrics:
             stats["busy_ms"] += record.duration_ms
         return summary
 
+    def lane_busy_ms(self) -> dict[str, float]:
+        """Virtual busy time per endpoint lane, as the mediator saw it.
+
+        Cache hits are instantaneous and excluded; failed and timed-out
+        requests still occupied the lane for their observed duration.
+        """
+        busy: dict[str, float] = {}
+        for record in self.iter_records():
+            busy[record.endpoint] = busy.get(record.endpoint, 0.0) + record.duration_ms
+        return busy
+
+    def lane_utilization(self, total_ms: float | None = None) -> dict[str, float]:
+        """Busy fraction per endpoint lane over the query's lifetime.
+
+        The denominator defaults to this query's ``virtual_ms`` span;
+        pass ``total_ms`` to normalize against a workload makespan
+        instead (how the serving harness reports shared-lane pressure).
+        """
+        if total_ms is None:
+            total_ms = self.virtual_ms
+        busy = self.lane_busy_ms()
+        if total_ms <= 0.0:
+            return {endpoint: 0.0 for endpoint in sorted(busy)}
+        return {endpoint: busy[endpoint] / total_ms for endpoint in sorted(busy)}
+
     # ------------------------------------------------------------- phases
 
     def add_phase(self, phase: str, duration_ms: float) -> None:

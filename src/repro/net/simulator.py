@@ -75,6 +75,43 @@ def geo_distributed_config(mediator_region: str = regions_module.CENTRAL_US) -> 
     )
 
 
+class LaneBook:
+    """Shared booking state: per-endpoint lanes + mediator worker slots.
+
+    One :class:`VirtualNetwork` per query owns a private book, so lane
+    congestion never leaks across sequential executions.  The serving
+    layer (:mod:`repro.serve`) instead hands *one* book to every
+    concurrent query's network, which is exactly what makes N in-flight
+    queries contend for the same endpoint lanes in virtual time.
+
+    ``lane_busy_ms`` accumulates each lane's occupied virtual time
+    (evaluation + transfer, including the tail of timed-out requests the
+    endpoint keeps processing) for utilization reporting.
+    """
+
+    __slots__ = ("lane_free_ms", "slot_free_ms", "lane_busy_ms")
+
+    def __init__(self, mediator_slots: int = 16):
+        self.lane_free_ms: dict[str, float] = {}
+        self.slot_free_ms: list[float] = [0.0] * max(1, mediator_slots)
+        self.lane_busy_ms: dict[str, float] = {}
+
+    def utilization(self, total_ms: float | None = None) -> dict[str, float]:
+        """Busy fraction per endpoint lane.
+
+        The denominator defaults to the latest lane-free time across all
+        lanes (the book's horizon); pass ``total_ms`` to normalize
+        against a known makespan instead.
+        """
+        if total_ms is None:
+            total_ms = max(self.lane_free_ms.values(), default=0.0)
+        if total_ms <= 0.0:
+            return {name: 0.0 for name in self.lane_busy_ms}
+        return {
+            name: busy / total_ms for name, busy in sorted(self.lane_busy_ms.items())
+        }
+
+
 class VirtualNetwork:
     """Per-query network state: endpoint lanes plus metrics.
 
@@ -100,14 +137,16 @@ class VirtualNetwork:
         registry=None,
         engine: str = "",
         injector=None,
+        lanes: LaneBook | None = None,
     ):
         self.config = config
         self.metrics = metrics
         self.registry = registry
         self.engine = engine
         self.injector = injector
-        self._lane_free_ms: dict[str, float] = {}
-        self._slot_free_ms: list[float] = [0.0] * max(1, config.mediator_slots)
+        #: Booking state; pass a shared book to make several networks
+        #: (= several concurrent queries) contend for the same lanes.
+        self.lanes = lanes if lanes is not None else LaneBook(config.mediator_slots)
 
     def request(
         self,
@@ -168,11 +207,13 @@ class VirtualNetwork:
         if response_bytes is None:
             response_bytes = result_rows * config.response_bytes_per_row
         # A request needs a mediator worker slot and the endpoint's lane.
-        slot_index = min(range(len(self._slot_free_ms)), key=self._slot_free_ms.__getitem__)
+        lanes = self.lanes
+        slot_free = lanes.slot_free_ms
+        slot_index = min(range(len(slot_free)), key=slot_free.__getitem__)
         start = max(
             ready_at_ms,
-            self._lane_free_ms.get(endpoint_name, 0.0),
-            self._slot_free_ms[slot_index],
+            lanes.lane_free_ms.get(endpoint_name, 0.0),
+            slot_free[slot_index],
         )
         # shards == 1 must keep the historical expression verbatim:
         # committed benchmark baselines compare virtual times to the
@@ -219,8 +260,11 @@ class VirtualNetwork:
             status = "timeout"
             end = start + timeout_ms
         failed = status != "ok"
-        self._lane_free_ms[endpoint_name] = lane_end
-        self._slot_free_ms[slot_index] = end
+        lanes.lane_free_ms[endpoint_name] = lane_end
+        lanes.slot_free_ms[slot_index] = end
+        lanes.lane_busy_ms[endpoint_name] = (
+            lanes.lane_busy_ms.get(endpoint_name, 0.0) + (lane_end - start)
+        )
         self.metrics.record(
             RequestRecord(
                 kind=kind,
@@ -245,6 +289,12 @@ class VirtualNetwork:
             registry.observe(
                 "request_virtual_ms", end - start, endpoint=endpoint_name, kind=kind
             )
+            registry.inc(
+                "lane_busy_virtual_ms_total",
+                lane_end - start,
+                engine=self.engine,
+                endpoint=endpoint_name,
+            )
         if status == "timeout":
             raise RequestTimeoutError(
                 f"request to endpoint {endpoint_name} exceeded "
@@ -263,7 +313,7 @@ class VirtualNetwork:
 
     def lane_free_at(self, endpoint_name: str) -> float:
         """When the endpoint's lane next becomes idle."""
-        return self._lane_free_ms.get(endpoint_name, 0.0)
+        return self.lanes.lane_free_ms.get(endpoint_name, 0.0)
 
 
 @dataclass

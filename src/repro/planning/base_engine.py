@@ -110,8 +110,35 @@ class FederatedEngine:
         #: (``NULL_AUDIT`` when tracing is off); profiling harnesses read
         #: it post-hoc to embed raw estimate records in ProfileReports.
         self.last_audit = None
+        #: Client construction seam.  ``None`` builds a plain
+        #: :class:`FederationClient`; the serving layer installs a
+        #: factory that returns a lane-sharing client instead.  The
+        #: factory receives the same keyword arguments the default
+        #: construction uses.
+        self.client_factory = None
 
     # ------------------------------------------------------------- public
+
+    def build_client(self, metrics: QueryMetrics | None = None) -> FederationClient:
+        """The per-execution :class:`FederationClient` for this engine.
+
+        Goes through :attr:`client_factory` when one is installed so the
+        serving layer can substitute a client whose virtual network
+        shares lanes with other in-flight queries.
+        """
+        factory = self.client_factory or FederationClient
+        return factory(
+            federation=self.federation,
+            config=self.network_config,
+            caches=self.caches,
+            timeout_ms=self.timeout_ms,
+            metrics=metrics if metrics is not None else QueryMetrics(),
+            tracer=self.tracer,
+            registry=self.registry,
+            engine=self.name,
+            fault_plan=self.fault_plan,
+            resilience=self.resilience,
+        )
 
     def execute(self, query: SelectQuery | str, raise_on_failure: bool = False) -> ExecutionOutcome:
         """Run one federated query; failures become outcome statuses."""
@@ -122,18 +149,7 @@ class FederatedEngine:
             query = parsed
 
         metrics = QueryMetrics()
-        client = FederationClient(
-            federation=self.federation,
-            config=self.network_config,
-            caches=self.caches,
-            timeout_ms=self.timeout_ms,
-            metrics=metrics,
-            tracer=self.tracer,
-            registry=self.registry,
-            engine=self.name,
-            fault_plan=self.fault_plan,
-            resilience=self.resilience,
-        )
+        client = self.build_client(metrics)
         self.last_audit = client.audit
         wall_start = time.perf_counter()
         with self.tracer.span("query", t0=0.0, engine=self.name) as root:

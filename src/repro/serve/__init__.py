@@ -1,0 +1,27 @@
+"""Concurrent multi-tenant query serving (see ``docs/serving.md``).
+
+The serving layer turns the repo's one-query-at-a-time engines into a
+deterministic concurrent mediator: an admission-controlled cooperative
+scheduler multiplexes N in-flight queries over shared per-endpoint lanes
+in virtual time, with per-tenant quotas and deficit-round-robin
+fairness, a skeleton-keyed result cache with store-version invalidation,
+and in-flight cross-query MQO that lets one endpoint request feed
+multiple waiting queries.
+"""
+
+from repro.serve.cache import CachedResult, ResultCache, result_key, shared_result
+from repro.serve.client import ServingClient, ServingNetwork
+from repro.serve.server import QueryRequest, QueryServer, ServeConfig, ServedQuery
+
+__all__ = [
+    "CachedResult",
+    "QueryRequest",
+    "QueryServer",
+    "ResultCache",
+    "ServeConfig",
+    "ServedQuery",
+    "ServingClient",
+    "ServingNetwork",
+    "result_key",
+    "shared_result",
+]

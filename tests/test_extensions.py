@@ -58,7 +58,49 @@ class TestMultiQueryOptimization:
         pattern = TriplePattern(Variable("s"), UB.advisor, Variable("p"))
         one = Subquery(0, (pattern,), ("EP1",))
         two = Subquery(1, (pattern,), ("EP1", "EP2"))
-        assert SharedSubqueryCache.key(one) != SharedSubqueryCache.key(two)
+        cache = SharedSubqueryCache()
+        assert cache.key(one) != cache.key(two)
+
+    def test_cache_key_ignores_variable_names(self):
+        # The canonical-skeleton matcher collapses subqueries that differ
+        # only in variable naming onto one key (what the raw structural
+        # key used to miss).
+        from repro.core.decomposition.subquery import Subquery
+        from repro.core.mqo import SubqueryMatcher
+        from repro.rdf import UB, TriplePattern, Variable
+
+        one = Subquery(0, (TriplePattern(Variable("s"), UB.advisor, Variable("p")),), ("EP1",))
+        two = Subquery(1, (TriplePattern(Variable("x"), UB.advisor, Variable("y")),), ("EP1",))
+        matcher = SubqueryMatcher()
+        assert matcher.key(one) == matcher.key(two)
+        # Constants stay part of the key (as lifted VALUES data).
+        three = Subquery(
+            2, (TriplePattern(Variable("s"), UB.advisor, UB.Professor0),), ("EP1",)
+        )
+        assert matcher.key(one) != matcher.key(three)
+
+    def test_shared_relation_renamed_across_queries(self, paper_federation):
+        # Two subqueries with different variable names share one fetched
+        # relation; the reuse arrives under the requester's own names.
+        from repro.core.decomposition.subquery import Subquery
+        from repro.rdf import UB, TriplePattern, Variable
+        from repro.relational.relation import Relation
+
+        cache = SharedSubqueryCache()
+        producer = Subquery(
+            0, (TriplePattern(Variable("s"), UB.advisor, Variable("p")),), ("EP1",)
+        )
+        consumer = Subquery(
+            1, (TriplePattern(Variable("x"), UB.advisor, Variable("y")),), ("EP1",)
+        )
+        endpoint = next(iter(paper_federation))
+        result = endpoint.select(producer.to_select((Variable("s"), Variable("p"))))
+        cache.put(producer, Relation.from_result(result))
+        reused = cache.get(consumer, (Variable("x"), Variable("y")))
+        assert reused is not None
+        assert [v.name for v in reused.vars] == ["x", "y"]
+        assert sorted(map(repr, reused.rows)) == sorted(map(repr, result.rows))
+        assert cache.hits == 1
 
 
 class TestExplain:

@@ -1,0 +1,102 @@
+"""Tests for the deterministic traffic harness (:mod:`repro.harness.traffic`)."""
+
+import pytest
+
+from repro.harness.traffic import (
+    TrafficConfig,
+    generate_arrivals,
+    run_traffic,
+    workload_queries,
+)
+
+
+class TestArrivalGeneration:
+    def test_stream_is_deterministic(self):
+        queries = workload_queries("lubm")
+        config = TrafficConfig(requests=2000, tenants=5, seed=11)
+        assert generate_arrivals(queries, config) == generate_arrivals(queries, config)
+
+    def test_seed_changes_stream(self):
+        queries = workload_queries("lubm")
+        first = generate_arrivals(queries, TrafficConfig(requests=200, seed=1))
+        second = generate_arrivals(queries, TrafficConfig(requests=200, seed=2))
+        assert first != second
+
+    def test_stream_shape(self):
+        queries = workload_queries("lubm")
+        config = TrafficConfig(requests=1000, tenants=3, seed=0, zipf_s=1.2)
+        arrivals = generate_arrivals(queries, config)
+        assert len(arrivals) == 1000
+        times = [request.at_ms for request in arrivals]
+        assert times == sorted(times)
+        assert all(request.name in queries for request in arrivals)
+        assert {request.tenant for request in arrivals} == {
+            "tenant0",
+            "tenant1",
+            "tenant2",
+        }
+
+    def test_zipf_skew_favors_low_ranks(self):
+        queries = workload_queries("lubm")
+        arrivals = generate_arrivals(queries, TrafficConfig(requests=5000, seed=3))
+        counts = {}
+        for request in arrivals:
+            counts[request.name] = counts.get(request.name, 0) + 1
+        ranked = sorted(queries)
+        assert counts[ranked[0]] > counts[ranked[-1]]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            workload_queries("nope")
+
+
+class TestTrafficReplay:
+    def test_report_byte_identical(self, lubm2):
+        queries = workload_queries("lubm")
+        config = TrafficConfig(requests=400, tenants=3, seed=5)
+        first, __, __ = run_traffic(lubm2, queries, config)
+        second, __, __ = run_traffic(lubm2, queries, config)
+        assert first.to_json() == second.to_json()
+
+    def test_speedup_and_serial_identity(self, lubm2):
+        queries = workload_queries("lubm")
+        config = TrafficConfig(requests=600, tenants=4, seed=0)
+        report, records, __ = run_traffic(lubm2, queries, config)
+        totals = report["totals"]
+        assert totals["completed"] == 600
+        assert totals["failed"] == 0
+        assert totals["results_match_serial"] is True
+        assert totals["speedup"] >= 2.0
+        assert report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+        assert sum(report["paths"].values()) == 600
+        assert len(records) == 600
+
+    def test_per_tenant_sections(self, lubm2):
+        queries = workload_queries("lubm")
+        report, __, __ = run_traffic(
+            lubm2, queries, TrafficConfig(requests=300, tenants=2, seed=9)
+        )
+        tenants = report["tenants"]
+        assert set(tenants) == {"tenant0", "tenant1"}
+        assert sum(stats["requests"] for stats in tenants.values()) == 300
+
+    def test_chaos_profile_layering_is_deterministic(self, lubm2):
+        queries = workload_queries("lubm")
+        config = TrafficConfig(requests=250, tenants=2, seed=4, fault_profile="chaos")
+        first, records, __ = run_traffic(lubm2, queries, config)
+        second, __, __ = run_traffic(lubm2, queries, config)
+        assert first.to_json() == second.to_json()
+        assert first["workload"]["fault_profile"] == "chaos"
+        # Resilience keeps completed results serial-identical even when
+        # faults are injected.
+        completed = [record for record in records if record.ok]
+        assert completed and first["totals"]["results_match_serial"] is True
+
+    def test_report_format_renders(self, lubm2):
+        queries = workload_queries("lubm")
+        report, __, __ = run_traffic(
+            lubm2, queries, TrafficConfig(requests=120, tenants=2, seed=8)
+        )
+        text = report.format()
+        assert "speedup" in text
+        assert "lane utilization" in text
