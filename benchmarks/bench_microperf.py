@@ -42,7 +42,9 @@ bound-join hot path:
 The full (non-gate) plan run also executes a real LUBM bound-join
 workload through the federation (FedX block bound joins + Lusail
 delayed subqueries) and records the endpoint plan-cache hit rate in the
-report's ``workload`` section.
+report's ``workload`` section, plus a ``workload.metadata`` comparison
+of planner metadata requests (ASK / check / COUNT / STATS) with the
+characteristic-set statistics provider on vs the pure probe path.
 
 Plus the **array substrate suite** (emitted to ``BENCH_store.json``),
 which measures the sorted-run store backend against the preserved
@@ -788,6 +790,10 @@ def measure_bound_join_hit_rate(universities: int, seed: int) -> dict:
     engines = make_engines(federation, which=("FedX", "Lusail"), registry=registry)
     queries = {"Q1": lubm.query_q1(), "Q2": lubm.query_q2()}
     for engine_name, engine in engines.items():
+        # Probe mode: with charset statistics on, COUNT/check probes are
+        # answered from summaries and never reach the plan cache, which
+        # would make the per-kind hit rates here unmeasurable.
+        engine.statistics = "probe"
         for query_text in queries.values():
             outcome = engine.execute(query_text)
             assert outcome.ok, f"{engine_name} failed: {outcome.status}"
@@ -818,6 +824,82 @@ def measure_bound_join_hit_rate(universities: int, seed: int) -> dict:
         f"({bound['plan_cache_hits']}/"
         f"{bound['plan_cache_hits'] + bound['plan_cache_misses']} lookups), "
         f"overall {workload['overall']['hit_rate']:.3f}"
+    )
+    return workload
+
+
+def measure_metadata_requests(universities: int, seed: int) -> dict:
+    """Planner metadata traffic with and without characteristic-set stats.
+
+    Runs Lusail and FedX over the full LUBM query set twice against
+    identical federations — once on the pure probe path, once with the
+    charset statistics provider (the default) — and reports metadata
+    requests (ASK / check / COUNT / STATS) per query for each mode plus
+    the reduction ratio.  Answers are asserted row-identical across the
+    modes, and the summary-fed cardinality estimates are audited against
+    exact local counts (``stats`` q-error) via the profiling harness.
+    """
+    from repro.core.engine import LusailConfig
+    from repro.harness.profiling import profile_query
+    from repro.harness.runner import make_engines
+
+    federation = lubm.build_federation(universities, profile=lubm.BENCH_PROFILE, seed=seed)
+    queries = lubm.queries()
+    totals: dict[str, dict[str, int]] = {}
+    rows: dict[str, dict] = {"probe": {}, "charsets": {}}
+    for mode in ("probe", "charsets"):
+        engines = make_engines(federation, which=("Lusail", "FedX"))
+        for engine_name, engine in engines.items():
+            engine.statistics = mode
+            metadata = 0
+            for query_name, query_text in queries.items():
+                outcome = engine.execute(query_text)
+                assert outcome.ok, f"{engine_name}/{query_name} failed: {outcome.status}"
+                metadata += outcome.metrics.metadata_request_count()
+                rows[mode][(engine_name, query_name)] = sorted(
+                    map(repr, outcome.result.rows)
+                )
+            totals.setdefault(engine_name, {})[mode] = metadata
+    assert rows["probe"] == rows["charsets"], "statistics changed query answers"
+
+    per_query = {
+        mode: sum(counts[mode] for counts in totals.values()) / (len(totals) * len(queries))
+        for mode in ("probe", "charsets")
+    }
+    # The charset summaries are exact for the unfiltered patterns they
+    # answer; the audit's q-error quantifies that against local counts.
+    worst_stats_q_error = 1.0
+    for query_name, query_text in queries.items():
+        run = profile_query(
+            "Lusail",
+            federation,
+            query_name,
+            query_text,
+            lusail_config=LusailConfig(statistics="charsets"),
+        )
+        stats_summary = run.report.q_error.get("stats")
+        if stats_summary:
+            worst_stats_q_error = max(worst_stats_q_error, stats_summary["max"])
+
+    workload = {
+        "queries": sorted(queries),
+        "engines": {
+            name: {
+                "probe": counts["probe"],
+                "charsets": counts["charsets"],
+                "reduction": counts["probe"] / max(1, counts["charsets"]),
+            }
+            for name, counts in totals.items()
+        },
+        "requests_per_query": per_query,
+        "reduction": per_query["probe"] / max(1e-9, per_query["charsets"]),
+        "stats_q_error_max": worst_stats_q_error,
+        "rows_identical": True,
+    }
+    print(
+        f"metadata workload: {per_query['probe']:.1f} -> {per_query['charsets']:.1f} "
+        f"requests/query ({workload['reduction']:.1f}x fewer), "
+        f"stats q-error max {worst_stats_q_error:.2f}"
     )
     return workload
 
@@ -908,8 +990,11 @@ def main(argv=None) -> int:
     }
     if not args.gate:
         # The gate only re-times the in-process suites; the workload
-        # hit-rate measurement spins up a whole federation.
+        # measurements spin up whole federations.
         plan_report["workload"] = measure_bound_join_hit_rate(args.universities, args.seed)
+        plan_report["workload"]["metadata"] = measure_metadata_requests(
+            args.universities, args.seed
+        )
     with open(args.plan_out, "w") as handle:
         json.dump(plan_report, handle, indent=2)
         handle.write("\n")

@@ -19,6 +19,11 @@
    sorted inputs, both store backends must agree on every probe, and the
    ≥10⁵-triple scale gate must complete with the sorted backend building
    faster than the dict backend.
+6. Metadata-workload gate: the committed BENCH_plan.json workload
+   section must show the charset statistics cutting planner metadata
+   requests ≥5x with row-identical answers and summary estimates within
+   2x q-error of exact local counts, and COUNT-probe skeleton collapse
+   holding the ``count`` plan-cache hit rate ≥0.75.
 """
 
 from __future__ import annotations
@@ -116,6 +121,11 @@ def check_microbench_smoke() -> None:
     workload = plan_report["workload"]
     for field in ("plan_cache_hits", "plan_cache_misses", "hit_rate"):
         assert field in workload, f"plan workload missing {field}"
+    metadata = workload.get("metadata")
+    assert metadata, "plan workload missing metadata section"
+    for field in ("requests_per_query", "reduction", "stats_q_error_max", "rows_identical"):
+        assert field in metadata, f"metadata workload missing {field}"
+    assert metadata["rows_identical"] is True, "statistics changed smoke answers"
     print(
         "microbench smoke ok (BENCH_micro.json / BENCH_join.json / "
         "BENCH_plan.json / BENCH_store.json well-formed)"
@@ -274,6 +284,45 @@ def check_store_regression() -> None:
     )
 
 
+#: Acceptance bars for the committed BENCH_plan.json workload section.
+#: The workload only runs in full (non-gate) benchmark mode, so this
+#: gate audits the checked-in baseline rather than re-running it: a full
+#: ``bench_microperf.py`` run must have produced numbers clearing the
+#: issue's acceptance criteria before the baseline was committed.
+_METADATA_REDUCTION_FLOOR = 5.0
+_STATS_Q_ERROR_CEILING = 2.0
+_COUNT_HIT_RATE_FLOOR = 0.75
+
+
+def check_metadata_workload_baseline() -> None:
+    baseline_path = REPO / "BENCH_plan.json"
+    assert baseline_path.exists(), "BENCH_plan.json baseline missing from repo root"
+    workload = json.loads(baseline_path.read_text())["workload"]
+    count_rate = workload["by_kind"]["count"]["hit_rate"]
+    assert count_rate >= _COUNT_HIT_RATE_FLOOR, (
+        f"COUNT-probe skeleton collapse regressed: count plan-cache hit rate "
+        f"{count_rate:.3f} < {_COUNT_HIT_RATE_FLOOR}"
+    )
+    metadata = workload["metadata"]
+    assert metadata["rows_identical"] is True, (
+        "baseline recorded answer divergence between stats and probe paths"
+    )
+    reduction = metadata["reduction"]
+    assert reduction >= _METADATA_REDUCTION_FLOOR, (
+        f"charset statistics no longer cut metadata traffic: "
+        f"{reduction:.1f}x < {_METADATA_REDUCTION_FLOOR}x"
+    )
+    q_error = metadata["stats_q_error_max"]
+    assert q_error <= _STATS_Q_ERROR_CEILING, (
+        f"summary estimates drifted: stats q-error {q_error:.2f} > "
+        f"{_STATS_Q_ERROR_CEILING}"
+    )
+    print(
+        f"metadata gate: {reduction:.1f}x fewer requests/query, "
+        f"stats q-error {q_error:.2f}, count hit rate {count_rate:.3f} ok"
+    )
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
     check_dictionary_round_trip()
@@ -281,6 +330,7 @@ def main() -> int:
     check_join_regression()
     check_plan_regression()
     check_store_regression()
+    check_metadata_workload_baseline()
     return 0
 
 

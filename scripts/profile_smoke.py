@@ -9,8 +9,8 @@ Profiles one LUBM query per engine with tracing enabled and asserts:
 * the critical path covers the root span — it starts at the root and
   its per-span self times sum to the root's inclusive virtual time;
 * **structural regression gate**: per (engine, query), status / request
-  count / rows shipped / result rows must match the committed
-  ``BENCH_profile.json`` exactly and the worst q-error must stay within
+  count / rows shipped / result rows / metadata requests must match the
+  committed ``BENCH_profile.json`` exactly and the worst q-error must stay within
   tolerance.  The simulator is deterministic, so any drift means a
   planner, estimator, or audit change — review it, then regenerate the
   baseline with ``python scripts/profile_smoke.py --write-baseline``.
@@ -93,7 +93,7 @@ def gate(reports, problems: list[str]) -> None:
         if base is None:
             problems.append(f"{label}: missing from BENCH_profile.json")
             continue
-        for name in ("status", "requests", "rows_shipped", "result_rows"):
+        for name in ("status", "requests", "rows_shipped", "result_rows", "metadata_requests"):
             current = getattr(report, name)
             if current != base[name]:
                 problems.append(

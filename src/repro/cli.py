@@ -266,6 +266,14 @@ def cmd_profile(args) -> int:
     plan_line = plan_cache_summary(registry)
     if plan_line:
         print(plan_line)
+    metadata = metrics.metadata_request_count()
+    metadata_cached = (
+        metrics.metadata_request_count(include_cached=True) - metadata
+    )
+    print(
+        f"metadata requests per query: {metadata} issued "
+        f"(ask/check/count/stats; {metadata_cached} served from cache)"
+    )
     latency_line = _latency_line(registry)
     if latency_line:
         print(latency_line)

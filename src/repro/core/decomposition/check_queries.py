@@ -39,12 +39,22 @@ from repro.sparql.ast import (
 
 @dataclass(frozen=True)
 class CheckQuery:
-    """One locality check, bound to the endpoints it must run at."""
+    """One locality check, bound to the endpoints it must run at.
+
+    Besides the executable ``query``, the check carries its structure
+    (``outer`` pattern, generalized ``inner`` pattern, optional
+    ``type_pattern`` constraint on the variable) so the characteristic-set
+    statistics provider can answer provably-empty / provably-non-empty
+    checks from local summaries without parsing the query back apart.
+    """
 
     variable: Variable
     pair: frozenset  # frozenset[TriplePattern]
     query: SelectQuery
     sources: tuple[str, ...]
+    outer: TriplePattern | None = None
+    inner: TriplePattern | None = None
+    type_pattern: TriplePattern | None = None
 
 
 def _generalize(pattern: TriplePattern, keep: Variable) -> TriplePattern:
@@ -130,7 +140,17 @@ def checks_for_pair(
 
     def add(outer: TriplePattern, inner: TriplePattern) -> None:
         query = formulate_check(variable, outer, inner, type_pattern)
-        checks.append(CheckQuery(variable=variable, pair=pair, query=query, sources=sources))
+        checks.append(
+            CheckQuery(
+                variable=variable,
+                pair=pair,
+                query=query,
+                sources=sources,
+                outer=outer,
+                inner=_generalize(inner, keep=variable),
+                type_pattern=type_pattern,
+            )
+        )
 
     a_subject = "subject" in roles_a
     a_object = "object" in roles_a

@@ -39,6 +39,9 @@ class GJVResult:
 
     variables: dict[Variable, set[frozenset]] = field(default_factory=dict)
     check_queries_run: int = 0
+    #: Checks answered from characteristic-set summaries (provably empty
+    #: or provably non-empty) without issuing the remote check query.
+    check_queries_skipped: int = 0
 
     def add(self, variable: Variable, pair: frozenset) -> None:
         self.variables.setdefault(variable, set()).add(pair)
@@ -116,6 +119,7 @@ def detect_gjvs(
             )
 
     finish = at_ms
+    provider = getattr(client, "stats", None)
     with client.tracer.span(
         "gjv_detection", t0=at_ms, join_variables=[v.name for v in variables]
     ) as detection_span:
@@ -124,21 +128,32 @@ def detect_gjvs(
             if check.pair in result.variables.get(check.variable, set()):
                 continue
             for endpoint_name in check.sources:
-                with client.tracer.span(
-                    "check_query",
-                    t0=at_ms,
-                    variable=check.variable.name,
-                    endpoint=endpoint_name,
-                ) as span:
-                    non_empty, end = client.check(endpoint_name, check.query, at_ms)
-                    span.set(non_empty=non_empty, requests=1).end(end)
+                verdict = None
+                if provider is not None:
+                    # Characteristic-set coverage decides many checks
+                    # outright: provably empty skips the probe, provably
+                    # non-empty marks the variable global without one.
+                    verdict, end = provider.check_empty(endpoint_name, check, at_ms)
+                if verdict is not None:
+                    non_empty = not verdict
+                    result.check_queries_skipped += 1
+                else:
+                    with client.tracer.span(
+                        "check_query",
+                        t0=at_ms,
+                        variable=check.variable.name,
+                        endpoint=endpoint_name,
+                    ) as span:
+                        non_empty, end = client.check(endpoint_name, check.query, at_ms)
+                        span.set(non_empty=non_empty, requests=1).end(end)
+                    result.check_queries_run += 1
                 finish = max(finish, end)
-                result.check_queries_run += 1
                 if non_empty:
                     result.add(check.variable, check.pair)
                     break
         detection_span.set(
             gjvs=[v.name for v in result.variables],
             check_queries=result.check_queries_run,
+            check_queries_skipped=result.check_queries_skipped,
         ).end(finish)
     return result, finish

@@ -80,6 +80,11 @@ class LusailConfig:
     #: irrecoverable endpoint's contribution instead of failing the
     #: query, reporting completeness metadata.
     partial_results: bool = False
+    #: Planner statistics source: "charsets" answers ASK / COUNT / check
+    #: questions from per-endpoint characteristic-set summaries when
+    #: provable (remote probes as fallback); "probe" is the pure
+    #: per-query probe path the paper describes.
+    statistics: str = "charsets"
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
@@ -121,6 +126,7 @@ class LusailEngine(FederatedEngine):
     ):
         super().__init__(federation, network_config, caches, timeout_ms)
         self.config = config or LusailConfig()
+        self.statistics = self.config.statistics
         machines = max(1, self.config.machines)
         if machines > 1:
             # Each extra machine contributes its own request workers.

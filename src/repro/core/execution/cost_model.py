@@ -20,6 +20,7 @@ delayed — the paper names them as a delayed class outright.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -50,15 +51,25 @@ class DelayPolicy(str, Enum):
 def count_query(pattern: TriplePattern, filters: tuple[Expression, ...] = ()) -> SelectQuery:
     """The COUNT probe for one triple pattern (with pushable filters)."""
     elements = [BGP([pattern])]
-    pattern_vars = pattern.variables()
-    for expression in filters:
-        if expression.variables() and expression.variables() <= pattern_vars:
-            elements.append(Filter(expression))
+    for expression in pushable_filters(pattern, filters):
+        elements.append(Filter(expression))
     return SelectQuery(
         where=GroupPattern(elements),
         select_vars=None,
         aggregate=CountAggregate(Variable("__count")),
     )
+
+
+def pushable_filters(
+    pattern: TriplePattern, filters: tuple[Expression, ...]
+) -> list[Expression]:
+    """The filters a COUNT probe for this pattern would carry."""
+    pattern_vars = pattern.variables()
+    return [
+        expression
+        for expression in filters
+        if expression.variables() and expression.variables() <= pattern_vars
+    ]
 
 
 @dataclass
@@ -121,27 +132,61 @@ def collect_statistics(
     subqueries: list[Subquery],
     at_ms: float,
 ) -> tuple[CardinalityEstimates, float]:
-    """Issue the COUNT probes for every (pattern, endpoint) pair.
+    """Collect per-(pattern, endpoint) cardinalities.
 
-    Probes fan out in parallel; cached probes are free.  Returns the
-    estimates and the virtual completion time.
+    When the client carries a :class:`StatisticsProvider` (the
+    characteristic-set seam), filter-free patterns are answered from the
+    endpoint's local summary — no COUNT probe is issued, and with the
+    audit on each summary estimate is compared against the exact local
+    count under the ``stats`` decision label.  Patterns with pushable
+    filters (and clients without a provider) keep the original COUNT
+    probe path.  Probes fan out in parallel; cached probes are free.
+    Returns the estimates and the virtual completion time.
     """
     estimates = CardinalityEstimates()
     finish = at_ms
+    provider = getattr(client, "stats", None)
+    from_summary = 0
     mark = client.metrics.mark()
     with client.tracer.span("statistics", t0=at_ms) as span:
         for subquery in subqueries:
             for pattern in subquery.patterns:
-                query = count_query(pattern, subquery.filters)
+                use_summary = provider is not None and not pushable_filters(
+                    pattern, subquery.filters
+                )
+                query: SelectQuery | None = None
                 for endpoint in subquery.sources:
                     key = (pattern, endpoint)
                     if key in estimates.pattern_counts:
                         continue
-                    count, end = client.count(endpoint, query, at_ms)
+                    if use_summary:
+                        estimate, __, end = provider.pattern_count(
+                            endpoint, pattern, at_ms
+                        )
+                        # Ceil keeps sub-row averages (e.g. 0.4 rows per
+                        # subject) from rounding a matching pattern to 0.
+                        count = int(math.ceil(estimate))
+                        from_summary += 1
+                        if client.audit.enabled:
+                            # The probe path is the accuracy oracle: the
+                            # exact local count, read without touching
+                            # virtual time or request counters.
+                            actual = client.federation.get(endpoint).count_pattern(
+                                pattern
+                            )
+                            client.audit.record(
+                                "stats", float(count), float(actual),
+                                endpoint=endpoint, span=span,
+                            )
+                    else:
+                        if query is None:
+                            query = count_query(pattern, subquery.filters)
+                        count, end = client.count(endpoint, query, at_ms)
                     finish = max(finish, end)
                     estimates.pattern_counts[key] = count
         span.set(
             probes=len(estimates.pattern_counts),
+            from_summary=from_summary,
             requests=client.metrics.requests_since(mark),
         ).end(finish)
     return estimates, finish

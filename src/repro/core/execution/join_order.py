@@ -16,13 +16,62 @@ first.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Sequence
 
 from repro.rdf.terms import Variable
 from repro.relational import kernels
 from repro.relational.relation import Relation
+
+
+@dataclass
+class JoinHints:
+    """Statistics-derived hints for the join-row estimator.
+
+    Built by the scheduler from the characteristic-set statistics
+    provider (already-fetched summaries only, so consulting the hints is
+    free in virtual time):
+
+    * ``var_counts[(i, v)]`` — an upper bound on relation ``i``'s
+      distinct values of ``v`` (summed per-endpoint distinct subject /
+      object tallies of the tightest pattern holding ``v``);
+    * ``pair_rows[{i, j}]`` — the exact same-endpoint join fan-out for a
+      leaf pair, from the summaries' predicate-pair tables.
+    """
+
+    var_counts: dict[tuple[int, Variable], float] = field(default_factory=dict)
+    pair_rows: dict[frozenset, float] = field(default_factory=dict)
+
+    def _distinct(self, node: "JoinPlanNode", variable: Variable) -> float | None:
+        """Distinct-value bound for a subtree: min over its leaves."""
+        best: float | None = None
+        for index in node.relations:
+            count = self.var_counts.get((index, variable))
+            if count is not None:
+                best = count if best is None else min(best, count)
+        return best
+
+    def join_rows(
+        self, left: "JoinPlanNode", right: "JoinPlanNode", shared: set[Variable]
+    ) -> float | None:
+        best: float | None = None
+        for variable in shared:
+            left_distinct = self._distinct(left, variable)
+            right_distinct = self._distinct(right, variable)
+            if not left_distinct or not right_distinct:
+                continue
+            # Independence estimate over the join variable's domain.
+            estimate = left.rows * right.rows / max(left_distinct, right_distinct)
+            best = estimate if best is None else min(best, estimate)
+        if left.is_leaf() and right.is_leaf():
+            # The same-endpoint pair fan-out is a certain lower bound
+            # (cross-endpoint join rows come on top of it): floor the
+            # independence estimate with it rather than replacing it.
+            exact = self.pair_rows.get(frozenset((left.base_index, right.base_index)))
+            if exact is not None and exact > 0.0:
+                best = exact if best is None else max(best, exact)
+        return best
 
 
 @dataclass
@@ -58,10 +107,17 @@ def _join_cost(left: JoinPlanNode, right: JoinPlanNode) -> float:
 
 
 def _estimate_join_rows(
-    left: JoinPlanNode, right: JoinPlanNode, shared: bool
+    left: JoinPlanNode,
+    right: JoinPlanNode,
+    shared: set[Variable],
+    hints: JoinHints | None = None,
 ) -> float:
     if not shared:
         return left.rows * right.rows
+    if hints is not None:
+        estimate = hints.join_rows(left, right, shared)
+        if estimate is not None:
+            return min(estimate, left.rows * right.rows)
     # The paper's min-rule: a join on v yields at most the smaller side's
     # bindings of v.
     return min(left.rows, right.rows)
@@ -70,11 +126,15 @@ def _estimate_join_rows(
 def plan_joins(
     relations: Sequence[Relation],
     greedy: bool = False,
+    hints: JoinHints | None = None,
 ) -> JoinPlanNode:
     """Choose a join order over the given relations.
 
-    Returns the root plan node; ``root.order()`` gives the sequence in
-    which :func:`execute_plan` combines the inputs.
+    ``hints`` (optional) refines the intermediate-row estimates with
+    characteristic-set statistics; without it the estimator falls back
+    to the paper's min-rule.  Returns the root plan node;
+    ``root.order()`` gives the sequence in which :func:`execute_plan`
+    combines the inputs.
     """
     if not relations:
         raise ValueError("plan_joins needs at least one relation")
@@ -94,8 +154,8 @@ def plan_joins(
 
     var_sets = [set(relation.vars) for relation in relations]
     if greedy:
-        return _greedy_plan(leaves, var_sets)
-    return _dp_plan(leaves, var_sets)
+        return _greedy_plan(leaves, var_sets, hints)
+    return _dp_plan(leaves, var_sets, hints)
 
 
 def _subset_vars(subset: frozenset[int], var_sets: list[set[Variable]]) -> set[Variable]:
@@ -105,7 +165,11 @@ def _subset_vars(subset: frozenset[int], var_sets: list[set[Variable]]) -> set[V
     return merged
 
 
-def _dp_plan(leaves: list[JoinPlanNode], var_sets: list[set[Variable]]) -> JoinPlanNode:
+def _dp_plan(
+    leaves: list[JoinPlanNode],
+    var_sets: list[set[Variable]],
+    hints: JoinHints | None = None,
+) -> JoinPlanNode:
     """DP over subsets (DPsub), preferring connected splits."""
     n = len(leaves)
     best: dict[frozenset[int], JoinPlanNode] = {leaf.relations: leaf for leaf in leaves}
@@ -129,14 +193,14 @@ def _dp_plan(leaves: list[JoinPlanNode], var_sets: list[set[Variable]]) -> JoinP
                 right_node = best.get(right_set)
                 if left_node is None or right_node is None:
                     continue
-                shared = _connected(
-                    _subset_vars(left_set, var_sets), _subset_vars(right_set, var_sets)
+                shared = _subset_vars(left_set, var_sets) & _subset_vars(
+                    right_set, var_sets
                 )
                 if not shared and size < n:
                     # Defer cross products until forced at the top.
                     continue
                 cost = left_node.cost + right_node.cost + _join_cost(left_node, right_node)
-                rows = _estimate_join_rows(left_node, right_node, shared)
+                rows = _estimate_join_rows(left_node, right_node, shared, hints)
                 if best_node is None or cost < best_node.cost:
                     best_node = JoinPlanNode(
                         relations=subset,
@@ -154,11 +218,15 @@ def _dp_plan(leaves: list[JoinPlanNode], var_sets: list[set[Variable]]) -> JoinP
     if root is None:
         # Disconnected join graph with no full plan (cross products were
         # skipped): fall back to greedy, which always completes.
-        return _greedy_plan(leaves, var_sets)
+        return _greedy_plan(leaves, var_sets, hints)
     return root
 
 
-def _greedy_plan(leaves: list[JoinPlanNode], var_sets: list[set[Variable]]) -> JoinPlanNode:
+def _greedy_plan(
+    leaves: list[JoinPlanNode],
+    var_sets: list[set[Variable]],
+    hints: JoinHints | None = None,
+) -> JoinPlanNode:
     """Smallest-cardinality-first pairing, preferring connected pairs."""
     nodes = list(leaves)
     while len(nodes) > 1:
@@ -177,13 +245,12 @@ def _greedy_plan(leaves: list[JoinPlanNode], var_sets: list[set[Variable]]) -> J
         assert best_pair is not None
         i, j = best_pair
         left_node, right_node = nodes[i], nodes[j]
-        shared = _connected(
-            _subset_vars(left_node.relations, var_sets),
-            _subset_vars(right_node.relations, var_sets),
+        shared_vars = _subset_vars(left_node.relations, var_sets) & _subset_vars(
+            right_node.relations, var_sets
         )
         joined = JoinPlanNode(
             relations=left_node.relations | right_node.relations,
-            rows=_estimate_join_rows(left_node, right_node, shared),
+            rows=_estimate_join_rows(left_node, right_node, shared_vars, hints),
             threads=max(left_node.threads, right_node.threads),
             cost=left_node.cost + right_node.cost + _join_cost(left_node, right_node),
             left=left_node,

@@ -23,7 +23,12 @@ from dataclasses import dataclass, field
 
 from repro.core.decomposition.subquery import DecompositionPlan, Subquery, values_block
 from repro.core.execution.cost_model import CardinalityEstimates
-from repro.core.execution.join_order import execute_plan, plan_joins, plan_summary
+from repro.core.execution.join_order import (
+    JoinHints,
+    execute_plan,
+    plan_joins,
+    plan_summary,
+)
 from repro.core.execution.request_handler import ElasticRequestHandler
 from repro.endpoint.client import FederationClient
 from repro.exceptions import MemoryLimitError, NetworkError
@@ -507,7 +512,11 @@ class BranchScheduler:
                     algorithm="greedy" if self.config.greedy_join_order else "dp",
                     inputs=len(relations),
                 ) as span:
-                    plan = plan_joins(relations, greedy=self.config.greedy_join_order)
+                    plan = plan_joins(
+                        relations,
+                        greedy=self.config.greedy_join_order,
+                        hints=self._join_hints(group),
+                    )
                     joined, cost = execute_plan(plan, relations)
                     self.join_cost_units += cost
                     span.set(rows=len(joined), join_cost_units=cost).end(at_ms)
@@ -518,6 +527,38 @@ class BranchScheduler:
             self._guard_rows(len(joined))
             components.append(_Component(relation=joined, variables=set(joined.vars)))
         return components
+
+    def _join_hints(self, group: list[tuple[Subquery, Relation]]) -> JoinHints | None:
+        """Statistics hints for one eager join group.
+
+        Uses only summaries the provider already fetched this query, so
+        building the hints is free in virtual time; returns None (the
+        min-rule estimator) when no provider is installed or nothing is
+        provable.
+        """
+        provider = getattr(self.client, "stats", None)
+        if provider is None:
+            return None
+        hints = JoinHints()
+        for index, (subquery, relation) in enumerate(group):
+            for variable in relation.vars:
+                count = provider.distinct_values(subquery, variable)
+                if count is not None:
+                    hints.var_counts[(index, variable)] = float(count)
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                left_sq, left_rel = group[i]
+                right_sq, right_rel = group[j]
+                for variable in set(left_rel.vars) & set(right_rel.vars):
+                    rows = provider.pair_fanout(left_sq, variable, right_sq)
+                    if rows is None:
+                        continue
+                    key = frozenset((i, j))
+                    known = hints.pair_rows.get(key)
+                    hints.pair_rows[key] = rows if known is None else min(known, rows)
+        if not hints.var_counts and not hints.pair_rows:
+            return None
+        return hints
 
     def _run_delayed(
         self, subquery: Subquery, components: list[_Component], now: float

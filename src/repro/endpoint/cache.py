@@ -169,6 +169,11 @@ class EngineCaches:
     ask: ProbeCache = field(default_factory=ProbeCache)
     check: ProbeCache = field(default_factory=ProbeCache)
     count: ProbeCache = field(default_factory=ProbeCache)
+    #: Characteristic-set summaries keyed by endpoint name.  Entries are
+    #: validated against the endpoint's ``store.version`` on every use
+    #: (the simulator's stand-in for an ETag'd HEAD request), so a stale
+    #: summary is re-fetched rather than served.
+    stats: ProbeCache = field(default_factory=ProbeCache)
 
     @classmethod
     def disabled(cls) -> "EngineCaches":
@@ -176,9 +181,11 @@ class EngineCaches:
             ask=ProbeCache(enabled=False),
             check=ProbeCache(enabled=False),
             count=ProbeCache(enabled=False),
+            stats=ProbeCache(enabled=False),
         )
 
     def clear(self) -> None:
         self.ask.clear()
         self.check.clear()
         self.count.clear()
+        self.stats.clear()

@@ -98,6 +98,12 @@ class FederationClient:
         #: the shared no-op otherwise — so EXPLAIN ANALYZE costs nothing
         #: when observability is off.
         self.audit = make_audit(self.registry, engine, self.tracer.enabled)
+        #: Statistics provider seam (see :mod:`repro.planning.stats`).
+        #: The engine installs a :class:`CharsetStatisticsProvider` here
+        #: when its ``statistics`` knob says so; planner components read
+        #: it and fall back to remote probes when it is ``None`` (or has
+        #: no provable answer).
+        self.stats = None
         self.resilience = resilience
         #: Per-endpoint circuit breakers (virtual time resets per query,
         #: so breaker state is per-client by construction).
@@ -203,6 +209,10 @@ class FederationClient:
                     f"virtual time budget exceeded at endpoint {endpoint_name}",
                     elapsed_ms=end,
                     endpoint=endpoint_name,
+                )
+            if not cached and kind in metrics_module.METADATA_KINDS:
+                self.registry.inc(
+                    "metadata_requests_total", engine=self.engine, kind=kind
                 )
             return end
 
@@ -322,6 +332,38 @@ class FederationClient:
         )
         self.caches.count.put(key, count)
         return count, end
+
+    def stats_summary(self, endpoint_name: str, at_ms: float):
+        """Fetch one endpoint's characteristic-set summary.
+
+        Cached in :attr:`EngineCaches.stats` across queries; each use
+        validates the cached copy against the endpoint's current
+        ``store.version`` (the simulator's stand-in for an ETag'd HEAD
+        request), so a stale summary is re-fetched, never served.  The
+        fetch itself is a virtual ``stats`` request whose payload is the
+        summary's serialized size estimate.
+        """
+        endpoint = self.federation.get(endpoint_name)
+        version = endpoint.store.version
+        hit = self.caches.stats.get(endpoint_name)
+        fresh = hit is not MISSING and hit.version == version
+        if self.caches.stats.enabled:
+            self._count_cache("stats", fresh)
+        if fresh:
+            end = self._issue(endpoint_name, metrics_module.STATS, at_ms, 0, 0, cached=True)
+            return hit, end
+        summary = endpoint.charset_summary()
+        end = self._issue(
+            endpoint_name,
+            metrics_module.STATS,
+            at_ms,
+            len(summary.sets) + len(summary.predicates),
+            64,
+            cached=False,
+            response_bytes=summary.approx_bytes(),
+        )
+        self.caches.stats.put(endpoint_name, summary)
+        return summary, end
 
     def _mirror_shard_stats(self, endpoint, kind: str) -> int:
         """Feed the endpoint's per-shard lane stats into observability.

@@ -26,11 +26,31 @@ from repro.endpoint.shards import ShardPool, fork_shardable
 from repro.exceptions import EvaluationError
 from repro.net import regions as regions_module
 from repro.rdf.triple import Triple, TriplePattern
-from repro.sparql.ast import AskQuery, ExistsExpr, Filter, Query, SelectQuery
+from repro.sparql.ast import BGP, AskQuery, ExistsExpr, Filter, Query, SelectQuery
 from repro.sparql.evaluator import SelectResult
 from repro.sparql.plan import CompiledPlan, compile_query, split_parameters
 from repro.sparql.skeleton import Canonicalized, canonicalize_query
 from repro.store.triple_store import TripleStore
+
+
+def _is_single_pattern_count(query: Query) -> bool:
+    """True for single-triple-pattern aggregate COUNT probes.
+
+    For these the compiled plan is predicate-independent (one probe, no
+    ordering choice), so the predicate is lifted into the parameter
+    VALUES block too: COUNT statistics probes about *different
+    predicates* then collapse onto one cached plan per endpoint instead
+    of one per predicate.
+    """
+    if not isinstance(query, SelectQuery) or query.aggregate is None or query.order_by:
+        return False
+    triple_count = 0
+    for element in query.where.elements:
+        if isinstance(element, BGP):
+            triple_count += len(element.triples)
+        elif not isinstance(element, Filter):
+            return False
+    return triple_count == 1
 
 
 def _is_probe_shape(query: Query) -> bool:
@@ -81,6 +101,10 @@ class Endpoint:
         #: deterministic in-process chunk loop.
         self.parallel = parallel
         self._shard_pool: ShardPool | None = None
+        #: Characteristic-set summary maintainer (repro.store.charsets),
+        #: created lazily by :meth:`charset_summary`; None until the
+        #: statistics path first asks for a summary.
+        self._charset_maintainer = None
         #: Per-shard lane statistics of the most recent ``select()``:
         #: one dict per shard with input/output row counts and
         #: wall-clock seconds.  Empty when the last query ran unsharded.
@@ -133,7 +157,7 @@ class Endpoint:
         """
         if not _is_probe_shape(query):
             return query, None
-        canonical = canonicalize_query(query)
+        canonical = canonicalize_query(query, lift_predicates=_is_single_pattern_count(query))
         if canonical is None:
             return query, None
         return canonical.query, canonical
@@ -258,11 +282,48 @@ class Endpoint:
             self.plan_execute_s,
         )
 
+    def charset_summary(self):
+        """The endpoint's current characteristic-set summary.
+
+        Built lazily on first use from the store's id-space columns and
+        kept current by the :class:`~repro.store.charsets.CharsetMaintainer`:
+        mutations through :meth:`add` / :meth:`remove` are applied as
+        incremental deltas, bulk loads and out-of-band store mutations
+        (detected through ``store.version``) trigger a full recompute.
+        """
+        maintainer = self._charset_maintainer
+        if maintainer is None:
+            from repro.store.charsets import CharsetMaintainer
+
+            maintainer = self._charset_maintainer = CharsetMaintainer(self.store)
+        return maintainer.summary()
+
+    def install_charsets(self, summary) -> bool:
+        """Adopt a persisted summary; False when it mismatches the store."""
+        from repro.store.charsets import CharsetMaintainer
+
+        maintainer = self._charset_maintainer
+        if maintainer is None:
+            maintainer = self._charset_maintainer = CharsetMaintainer(self.store)
+        return maintainer.install(summary)
+
     def add(self, triple: Triple) -> bool:
-        return self.store.add(triple)
+        added = self.store.add(triple)
+        if added and self._charset_maintainer is not None:
+            self._charset_maintainer.record_add(triple)
+        return added
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        return self.store.add_all(triples)
+        added = self.store.add_all(triples)
+        if added and self._charset_maintainer is not None:
+            self._charset_maintainer.record_bulk()
+        return added
+
+    def remove(self, triple: Triple) -> bool:
+        removed = self.store.remove(triple)
+        if removed and self._charset_maintainer is not None:
+            self._charset_maintainer.record_remove(triple)
+        return removed
 
     def close(self) -> None:
         """Release the fork pool, if one was ever created.

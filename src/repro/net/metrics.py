@@ -23,8 +23,14 @@ CHECK = "check"
 COUNT = "count"
 SELECT = "select"
 BOUND = "bound"
+STATS = "stats"
 
-REQUEST_KINDS = (ASK, CHECK, COUNT, SELECT, BOUND)
+REQUEST_KINDS = (ASK, CHECK, COUNT, SELECT, BOUND, STATS)
+
+#: Planner metadata kinds: requests that ship no result rows, only the
+#: information needed to plan (source-selection ASKs, locality checks,
+#: COUNT statistics, characteristic-set summary fetches).
+METADATA_KINDS = (ASK, CHECK, COUNT, STATS)
 
 
 @dataclass
@@ -103,6 +109,14 @@ class QueryMetrics:
     def failed_request_count(self, *kinds: str) -> int:
         """Requests that failed (injected fault or per-request timeout)."""
         return sum(1 for record in self.iter_records(*kinds) if record.failed)
+
+    def metadata_request_count(self, include_cached: bool = False) -> int:
+        """Planner metadata requests (ASK / check / COUNT / stats fetches).
+
+        The "metadata requests per query" line in the profile CLI and
+        the BENCH_plan metadata gate are built on this count.
+        """
+        return self.request_count(*METADATA_KINDS, include_cached=include_cached)
 
     def requests_by_kind(self, include_cached: bool = False) -> Counter:
         return Counter(

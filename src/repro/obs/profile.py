@@ -218,6 +218,10 @@ class ProfileReport:
     requests: int
     rows_shipped: int
     result_rows: int
+    #: Planner metadata traffic (ask / check / count / stats requests
+    #: actually issued) — the request storm the characteristic-set
+    #: statistics are meant to kill.
+    metadata_requests: int = 0
     requests_by_kind: dict[str, int] = field(default_factory=dict)
     span_count: int = 0
     critical_path: list[dict[str, Any]] = field(default_factory=list)
@@ -235,6 +239,7 @@ class ProfileReport:
             "requests": self.requests,
             "rows_shipped": self.rows_shipped,
             "result_rows": self.result_rows,
+            "metadata_requests": self.metadata_requests,
             "requests_by_kind": dict(sorted(self.requests_by_kind.items())),
             "span_count": self.span_count,
             "critical_path": self.critical_path,
@@ -270,10 +275,12 @@ def build_profile_report(
     requests_by_kind: dict[str, int] = {}
     requests = 0
     rows_shipped = 0
+    metadata_requests = 0
     virtual_ms = 0.0
     if metrics is not None:
         requests = metrics.request_count()
         rows_shipped = metrics.rows_shipped()
+        metadata_requests = metrics.metadata_request_count()
         virtual_ms = metrics.virtual_ms
         for stats in metrics.endpoint_summary().values():
             for kind, count in stats["by_kind"].items():
@@ -317,6 +324,7 @@ def build_profile_report(
         requests=requests,
         rows_shipped=rows_shipped,
         result_rows=result_rows,
+        metadata_requests=metadata_requests,
         requests_by_kind=requests_by_kind,
         span_count=span_count,
         critical_path=path_entries,

@@ -89,12 +89,19 @@ class FederatedEngine:
         timeout_ms: float | None = DEFAULT_TIMEOUT_MS,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
+        statistics: str = "charsets",
     ):
         self.federation = federation
         self.network_config = network_config or local_cluster_config()
         self.caches = caches if caches is not None else EngineCaches()
         self.timeout_ms = timeout_ms
         self.stats = EngineStats()
+        #: Planner statistics source: "charsets" installs a
+        #: characteristic-set :class:`StatisticsProvider` on every built
+        #: client (ASK / COUNT / check questions answered from local
+        #: summaries when provable, remote probes as fallback); "probe"
+        #: keeps the pure probe path.
+        self.statistics = statistics
         #: Observability sinks.  Default to the process-wide tracer
         #: (disabled unless a profiling run enables it) and registry;
         #: assignable after construction for per-run isolation.
@@ -127,7 +134,7 @@ class FederatedEngine:
         shares lanes with other in-flight queries.
         """
         factory = self.client_factory or FederationClient
-        return factory(
+        client = factory(
             federation=self.federation,
             config=self.network_config,
             caches=self.caches,
@@ -139,6 +146,13 @@ class FederatedEngine:
             fault_plan=self.fault_plan,
             resilience=self.resilience,
         )
+        if self.statistics == "charsets":
+            # Installed after construction so serving-layer client
+            # factories need not know about the statistics seam.
+            from repro.planning.stats import CharsetStatisticsProvider
+
+            client.stats = CharsetStatisticsProvider(client)
+        return client
 
     def execute(self, query: SelectQuery | str, raise_on_failure: bool = False) -> ExecutionOutcome:
         """Run one federated query; failures become outcome statuses."""

@@ -59,8 +59,16 @@ def select_sources(
     at_ms: float,
     endpoint_names: list[str] | None = None,
 ) -> tuple[SourceSelection, float]:
-    """Run ASK source selection; returns the selection and the end time."""
+    """Run ASK source selection; returns the selection and the end time.
+
+    When the client carries a characteristic-set statistics provider,
+    each (pattern, endpoint) question is answered from the endpoint's
+    local summary first; the ASK probe is issued only when the summary
+    cannot prove the answer (the provider's verdicts are exact, so the
+    resulting :class:`SourceSelection` is identical either way).
+    """
     names = endpoint_names if endpoint_names is not None else client.federation.names()
+    provider = getattr(client, "stats", None)
     selection = SourceSelection()
     finish = at_ms
     for pattern in patterns:
@@ -69,7 +77,11 @@ def select_sources(
         probe = _probe_pattern(pattern)
         relevant: list[str] = []
         for name in names:
-            answer, end = client.ask(name, probe, at_ms)
+            answer = None
+            if provider is not None:
+                answer, end = provider.can_match(name, probe, at_ms)
+            if answer is None:
+                answer, end = client.ask(name, probe, at_ms)
             finish = max(finish, end)
             if answer:
                 relevant.append(name)
@@ -93,11 +105,18 @@ def refine_sources_with_bindings(
     significantly less than evaluating the delayed subquery" there.
     """
     finish = at_ms
+    provider = getattr(client, "stats", None)
     relevant: list[str] = []
     for name in candidates:
         keep = False
         for bound in bound_patterns:
-            answer, end = client.ask(name, bound, at_ms)
+            answer = None
+            if provider is not None:
+                # Summaries prove most misses (absent predicate, object
+                # outside the histogram) without shipping an ASK.
+                answer, end = provider.can_match(name, bound, at_ms)
+            if answer is None:
+                answer, end = client.ask(name, bound, at_ms)
             finish = max(finish, end)
             if answer:
                 keep = True

@@ -194,7 +194,9 @@ class _Renamer:
         )
 
 
-def _lift_constants(where: GroupPattern) -> tuple[GroupPattern, ValuesPattern | None]:
+def _lift_constants(
+    where: GroupPattern, lift_predicates: bool = False
+) -> tuple[GroupPattern, ValuesPattern | None]:
     """Replace concrete s/o terms of top-level BGP triples with fresh
     parameter variables, returning the one-row VALUES block binding them.
 
@@ -202,7 +204,12 @@ def _lift_constants(where: GroupPattern) -> tuple[GroupPattern, ValuesPattern | 
     inside OPTIONAL / UNION / EXISTS / sub-SELECT would need the
     synthesized binding to be visible across a scope boundary, which is
     not worth the coupling for probe-shaped queries (whose constants all
-    sit in the top-level BGP).  Predicates are never lifted.
+    sit in the top-level BGP).  Predicates are lifted only when the
+    caller says so: single-pattern COUNT probes ask the same shape about
+    every predicate, so parameterizing the predicate collapses the whole
+    probe family onto one plan, while multi-pattern shapes keep concrete
+    predicates because the compiler's probe ordering depends on their
+    per-predicate statistics.
     """
     params: list[Variable] = []
     row: list = []
@@ -220,7 +227,11 @@ def _lift_constants(where: GroupPattern) -> tuple[GroupPattern, ValuesPattern | 
         if isinstance(element, BGP):
             element = BGP(
                 [
-                    TriplePattern(lift(t.subject), t.predicate, lift(t.object))
+                    TriplePattern(
+                        lift(t.subject),
+                        lift(t.predicate) if lift_predicates else t.predicate,
+                        lift(t.object),
+                    )
                     for t in element.triples
                 ]
             )
@@ -230,13 +241,17 @@ def _lift_constants(where: GroupPattern) -> tuple[GroupPattern, ValuesPattern | 
     return GroupPattern(elements), ValuesPattern(params, (tuple(row),))
 
 
-def canonicalize_query(query: Query) -> Canonicalized | None:
+def canonicalize_query(query: Query, lift_predicates: bool = False) -> Canonicalized | None:
     """Canonical form of ``query`` for plan-cache keying, or None.
 
     Returns None (caller keeps the original path) when the query already
     carries top-level VALUES — bound-join requests are well keyed by
     :func:`split_parameters` alone, and injecting another block would
     renumber their parameter slots.
+
+    ``lift_predicates`` additionally parameterizes concrete predicates
+    (see :func:`_lift_constants`); pass it only for shapes whose plan is
+    predicate-independent, i.e. single-pattern aggregate probes.
     """
     if not isinstance(query, (SelectQuery, AskQuery)):
         return None
@@ -249,7 +264,7 @@ def canonicalize_query(query: Query) -> Canonicalized | None:
     else:
         projected = query.projected_variables()
         canonical = renamer.select(query)
-    where, values = _lift_constants(canonical.where)
+    where, values = _lift_constants(canonical.where, lift_predicates)
     if values is not None:
         where = GroupPattern((values, *where.elements))
     if where is not canonical.where:

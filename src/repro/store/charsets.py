@@ -1,0 +1,758 @@
+"""Characteristic-set statistics for a single endpoint's store.
+
+Odyssey-style characteristic sets summarize a graph by grouping subjects
+on the *set of predicates* they carry (extended here with the subject's
+``rdf:type`` classes, as in Lothbrok's fragment summaries): the summary
+records, per distinct predicate/class set, how many subjects share it,
+plus per-predicate tallies (triple count, distinct subjects/objects, an
+exact per-object histogram for low-cardinality predicates) and the
+characteristic-*pair* tables that power join fan-out estimation and
+check-query answering:
+
+``os_pairs[(p1, p2)]``
+    number of entities that appear as an *object* of ``p1`` and as a
+    *subject* of ``p2`` (the path-join coverage table);
+``oo_pairs[(p1, p2)]``
+    number of entities appearing as objects of both predicates;
+``ss_rows / os_rows / oo_rows``
+    exact two-pattern join row counts ``sum_e c(e, p1) * c(e, p2)``
+    where ``c`` counts the entity's triples in the respective role
+    (the predicate-pair join fan-outs).
+
+The summary is computed from the id-space sorted-run columns (three
+``scan_ids`` permutation passes, grouping in id space and decoding each
+id once), persists to JSON (:meth:`CharacteristicSets.to_dict`), and is
+incrementally maintained by :class:`CharsetMaintainer` under the store's
+``version`` counter with a recompute-on-threshold delta policy: small
+deltas recorded through the owning endpoint are applied in place (kept
+provably identical to a fresh rebuild by the property tests), bulk loads
+and out-of-band store mutations trigger a full recompute.
+
+Everything in the summary is *exact at its version*; the provider layer
+(:mod:`repro.planning.stats`) only makes pruning decisions that are
+sound for exact summaries and falls back to remote probes otherwise.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.rdf.namespaces import RDF_TYPE
+from repro.rdf.terms import BNode, IRI, Literal, Term, Variable, is_concrete
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.rdf.triples import Triple
+    from repro.sparql.ast import TriplePattern
+    from repro.store.triple_store import TripleStore
+
+#: Predicates whose distinct-object count is at or below this keep an
+#: exact per-object histogram, making ``(?s, p, o)`` estimates and
+#: ``can_match`` verdicts exact (``rdf:type`` on every dataset we ship).
+DEFAULT_OBJECT_HISTOGRAM_LIMIT = 256
+
+#: Elements of a characteristic set: a predicate term, or a
+#: ``("class", C)`` marker recording that the subject has rdf:type C.
+Element = "Term | tuple[str, Term]"
+
+
+def class_marker(cls: Term) -> tuple[str, Term]:
+    return ("class", cls)
+
+
+def _is_predicate(element) -> bool:
+    return isinstance(element, Term)
+
+
+@dataclass
+class PredicateStats:
+    """Per-predicate tallies; ``objects`` is the exact histogram or None."""
+
+    count: int
+    distinct_subjects: int
+    distinct_objects: int
+    objects: dict[Term, int] | None
+
+    def copy(self) -> "PredicateStats":
+        return PredicateStats(
+            self.count,
+            self.distinct_subjects,
+            self.distinct_objects,
+            dict(self.objects) if self.objects is not None else None,
+        )
+
+
+class CharacteristicSets:
+    """One endpoint's characteristic-set summary, exact at ``version``."""
+
+    __slots__ = (
+        "version",
+        "triples",
+        "distinct_subjects",
+        "distinct_objects",
+        "predicates",
+        "sets",
+        "os_pairs",
+        "oo_pairs",
+        "ss_rows",
+        "os_rows",
+        "oo_rows",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        triples: int,
+        distinct_subjects: int,
+        distinct_objects: int,
+        predicates: dict[Term, PredicateStats],
+        sets: dict[frozenset, int],
+        os_pairs: dict[tuple[Term, Term], int],
+        oo_pairs: dict[tuple[Term, Term], int],
+        ss_rows: dict[tuple[Term, Term], int],
+        os_rows: dict[tuple[Term, Term], int],
+        oo_rows: dict[tuple[Term, Term], int],
+    ):
+        self.version = version
+        self.triples = triples
+        self.distinct_subjects = distinct_subjects
+        self.distinct_objects = distinct_objects
+        self.predicates = predicates
+        self.sets = sets
+        self.os_pairs = os_pairs
+        self.oo_pairs = oo_pairs
+        self.ss_rows = ss_rows
+        self.os_rows = os_rows
+        self.oo_rows = oo_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"CharacteristicSets(version={self.version}, triples={self.triples}, "
+            f"predicates={len(self.predicates)}, sets={len(self.sets)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CharacteristicSets):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    # ------------------------------------------------------- local queries
+
+    def _repeated(self, pattern: "TriplePattern") -> bool:
+        s, p, o = pattern.subject, pattern.predicate, pattern.object
+        return (
+            (isinstance(s, Variable) and (s == p or s == o))
+            or (isinstance(p, Variable) and p == o)
+        )
+
+    def can_match(self, pattern: "TriplePattern") -> bool | None:
+        """Exact triple-pattern matchability, or None when unprovable.
+
+        A True/False answer here is equivalent to what an ASK probe would
+        return against the store at this summary's version; ``None``
+        means the caller must fall back to the probe.
+        """
+        if self.triples == 0:
+            return False
+        if self._repeated(pattern):
+            return None
+        s, p, o = pattern.subject, pattern.predicate, pattern.object
+        if is_concrete(p):
+            stats = self.predicates.get(p)
+            if stats is None or stats.count == 0:
+                return False
+            if is_concrete(s):
+                return None
+            if is_concrete(o):
+                if stats.objects is not None:
+                    return o in stats.objects
+                return None
+            return True
+        if not is_concrete(s) and not is_concrete(o):
+            return True
+        return None
+
+    def estimate_pattern(self, pattern: "TriplePattern") -> tuple[float, bool]:
+        """(estimated matching triples, is_exact) for one pattern."""
+        if self.triples == 0:
+            return 0.0, True
+        repeated = self._repeated(pattern)
+        s, p, o = pattern.subject, pattern.predicate, pattern.object
+        s_c, p_c, o_c = is_concrete(s), is_concrete(p), is_concrete(o)
+        if p_c:
+            stats = self.predicates.get(p)
+            if stats is None:
+                return 0.0, True
+            if not s_c and not o_c:
+                return float(stats.count), not repeated
+            if o_c and not s_c:
+                if stats.objects is not None:
+                    return float(stats.objects.get(o, 0)), True
+                return stats.count / max(1, stats.distinct_objects), False
+            if s_c and not o_c:
+                return stats.count / max(1, stats.distinct_subjects), False
+            return 1.0, False
+        if not s_c and not o_c:
+            return float(self.triples), not repeated
+        if s_c and not o_c:
+            return self.triples / max(1, self.distinct_subjects), False
+        if o_c and not s_c:
+            return self.triples / max(1, self.distinct_objects), False
+        return 1.0, False
+
+    # -------------------------------------------------- charset coverage
+
+    def charset_exists(self, required: frozenset, lacking=None) -> bool:
+        """Is there a populated charset containing ``required`` (and, when
+        ``lacking`` is given, *not* containing that element)?"""
+        for charset, count in self.sets.items():
+            if count <= 0 or not required <= charset:
+                continue
+            if lacking is None or lacking not in charset:
+                return True
+        return False
+
+    def subjects_with(self, required: frozenset) -> int:
+        """Number of subjects whose charset contains every required element."""
+        return sum(
+            count for charset, count in self.sets.items() if required <= charset
+        )
+
+    # ------------------------------------------------------- persistence
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "triples": self.triples,
+            "distinct_subjects": self.distinct_subjects,
+            "distinct_objects": self.distinct_objects,
+            "predicates": [
+                [
+                    _term_to_json(p),
+                    stats.count,
+                    stats.distinct_subjects,
+                    stats.distinct_objects,
+                    None
+                    if stats.objects is None
+                    else sorted(
+                        ([_term_to_json(o), n] for o, n in stats.objects.items()),
+                        key=lambda item: repr(item[0]),
+                    ),
+                ]
+                for p, stats in sorted(
+                    self.predicates.items(), key=lambda item: item[0].sort_key()
+                )
+            ],
+            "sets": sorted(
+                (
+                    [sorted((_element_to_json(e) for e in charset), key=repr), count]
+                    for charset, count in self.sets.items()
+                ),
+                key=lambda item: repr(item[0]),
+            ),
+            "os_pairs": _pairs_to_json(self.os_pairs),
+            "oo_pairs": _pairs_to_json(self.oo_pairs),
+            "ss_rows": _pairs_to_json(self.ss_rows),
+            "os_rows": _pairs_to_json(self.os_rows),
+            "oo_rows": _pairs_to_json(self.oo_rows),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CharacteristicSets":
+        predicates: dict[Term, PredicateStats] = {}
+        for p_json, count, ds, do, objects in data["predicates"]:
+            histogram = (
+                None
+                if objects is None
+                else {_term_from_json(o): n for o, n in objects}
+            )
+            predicates[_term_from_json(p_json)] = PredicateStats(count, ds, do, histogram)
+        return cls(
+            version=data["version"],
+            triples=data["triples"],
+            distinct_subjects=data["distinct_subjects"],
+            distinct_objects=data["distinct_objects"],
+            predicates=predicates,
+            sets={
+                frozenset(_element_from_json(e) for e in elements): count
+                for elements, count in data["sets"]
+            },
+            os_pairs=_pairs_from_json(data["os_pairs"]),
+            oo_pairs=_pairs_from_json(data["oo_pairs"]),
+            ss_rows=_pairs_from_json(data["ss_rows"]),
+            os_rows=_pairs_from_json(data["os_rows"]),
+            oo_rows=_pairs_from_json(data["oo_rows"]),
+        )
+
+    def approx_bytes(self) -> int:
+        """Deterministic size estimate used as the virtual response payload."""
+        entries = (
+            4 * len(self.predicates)
+            + sum(len(stats.objects) for stats in self.predicates.values() if stats.objects)
+            + sum(len(charset) + 1 for charset in self.sets)
+            + 3 * (len(self.os_pairs) + len(self.oo_pairs))
+            + 3 * (len(self.ss_rows) + len(self.os_rows) + len(self.oo_rows))
+        )
+        return 64 + 24 * entries
+
+
+# ------------------------------------------------------------ term codec
+
+
+def _term_to_json(term: Term) -> list:
+    if isinstance(term, IRI):
+        return ["i", term.value]
+    if isinstance(term, Literal):
+        return ["l", term.value, term.datatype, term.language]
+    if isinstance(term, BNode):
+        return ["b", term.label]
+    raise TypeError(f"not a serializable term: {term!r}")
+
+
+def _term_from_json(data: list) -> Term:
+    tag = data[0]
+    if tag == "i":
+        return IRI(data[1])
+    if tag == "l":
+        return Literal(data[1], datatype=data[2], language=data[3])
+    if tag == "b":
+        return BNode(data[1])
+    raise ValueError(f"unknown term tag: {tag!r}")
+
+
+def _element_to_json(element) -> list:
+    if _is_predicate(element):
+        return _term_to_json(element)
+    return ["c", _term_to_json(element[1])]
+
+
+def _element_from_json(data: list):
+    if data[0] == "c":
+        return class_marker(_term_from_json(data[1]))
+    return _term_from_json(data)
+
+
+def _pairs_to_json(table: dict[tuple[Term, Term], int]) -> list:
+    return sorted(
+        ([_term_to_json(a), _term_to_json(b), n] for (a, b), n in table.items()),
+        key=lambda item: (repr(item[0]), repr(item[1])),
+    )
+
+
+def _pairs_from_json(data: list) -> dict[tuple[Term, Term], int]:
+    return {(_term_from_json(a), _term_from_json(b)): n for a, b, n in data}
+
+
+# ---------------------------------------------------------------- build
+
+
+def build_charsets(
+    store: "TripleStore",
+    object_histogram_limit: int = DEFAULT_OBJECT_HISTOGRAM_LIMIT,
+) -> CharacteristicSets:
+    """Compute the full summary from the store's id-space columns."""
+    dictionary = store.dictionary
+    decode = dictionary.decode
+    decoded: dict[int, Term] = {}
+
+    def term(term_id: int) -> Term:
+        cached = decoded.get(term_id)
+        if cached is None:
+            cached = decoded[term_id] = decode(term_id)
+        return cached
+
+    type_id = dictionary.lookup(RDF_TYPE)
+
+    # Pass 1 (spo order): subject-grouped predicate/class multisets.
+    subj: dict[int, Counter] = {}
+    for s, p, o in store.scan_ids("spo"):
+        counter = subj.get(s)
+        if counter is None:
+            counter = subj[s] = Counter()
+        counter[p] += 1
+        if p == type_id:
+            counter[("c", o)] += 1
+
+    # Pass 2 (pos order): per-predicate exact object histograms.
+    histograms: dict[int, dict[int, int] | None] = {}
+    for s, p, o in store.scan_ids("pos"):
+        histogram = histograms.get(p, _ABSENT)
+        if histogram is None:
+            continue
+        if histogram is _ABSENT:
+            histogram = histograms[p] = {}
+        histogram[o] = histogram.get(o, 0) + 1
+        if len(histogram) > object_histogram_limit:
+            histograms[p] = None
+
+    # Pass 3 (osp order): object-grouped predicate multisets.
+    obj: dict[int, Counter] = {}
+    for s, p, o in store.scan_ids("osp"):
+        counter = obj.get(o)
+        if counter is None:
+            counter = obj[o] = Counter()
+        counter[p] += 1
+
+    sets: dict[frozenset, int] = {}
+    for counter in subj.values():
+        charset = frozenset(
+            term(e) if not isinstance(e, tuple) else class_marker(term(e[1]))
+            for e in counter
+        )
+        sets[charset] = sets.get(charset, 0) + 1
+
+    os_pairs: dict[tuple[Term, Term], int] = {}
+    oo_pairs: dict[tuple[Term, Term], int] = {}
+    ss_rows: dict[tuple[Term, Term], int] = {}
+    os_rows: dict[tuple[Term, Term], int] = {}
+    oo_rows: dict[tuple[Term, Term], int] = {}
+    for entity in subj.keys() | obj.keys():
+        subject_preds = [
+            (term(p), n) for p, n in subj.get(entity, _EMPTY).items() if not isinstance(p, tuple)
+        ]
+        object_preds = [(term(p), n) for p, n in obj.get(entity, _EMPTY).items()]
+        for p1, n1 in subject_preds:
+            for p2, n2 in subject_preds:
+                key = (p1, p2)
+                ss_rows[key] = ss_rows.get(key, 0) + n1 * n2
+        for p1, n1 in object_preds:
+            for p2, n2 in subject_preds:
+                key = (p1, p2)
+                os_pairs[key] = os_pairs.get(key, 0) + 1
+                os_rows[key] = os_rows.get(key, 0) + n1 * n2
+            for p2, n2 in object_preds:
+                key = (p1, p2)
+                oo_pairs[key] = oo_pairs.get(key, 0) + 1
+                oo_rows[key] = oo_rows.get(key, 0) + n1 * n2
+
+    predicates: dict[Term, PredicateStats] = {}
+    for p_id, histogram in histograms.items():
+        predicate = term(p_id)
+        predicates[predicate] = PredicateStats(
+            count=store.predicate_count(predicate),
+            distinct_subjects=store.distinct_subjects(predicate),
+            distinct_objects=store.distinct_objects(predicate),
+            objects=None
+            if histogram is None
+            else {term(o): n for o, n in histogram.items()},
+        )
+
+    return CharacteristicSets(
+        version=store.version,
+        triples=len(store),
+        distinct_subjects=store.distinct_subjects(),
+        distinct_objects=store.distinct_objects(),
+        predicates=predicates,
+        sets=sets,
+        os_pairs=os_pairs,
+        oo_pairs=oo_pairs,
+        ss_rows=ss_rows,
+        os_rows=os_rows,
+        oo_rows=oo_rows,
+    )
+
+
+_ABSENT = object()
+_EMPTY: Counter = Counter()
+
+
+# ---------------------------------------------------------- maintenance
+
+
+class CharsetMaintainer:
+    """Keeps one store's summary current under its ``version`` counter.
+
+    The owning endpoint records term-level deltas through
+    :meth:`record_add` / :meth:`record_remove` (and :meth:`record_bulk`
+    for batch loads).  :meth:`summary` then reconciles:
+
+    - version already matches -> return the cached summary;
+    - few recorded deltas covering the whole version gap -> apply them
+      incrementally (entity-level working maps make every table update
+      exact, verified against fresh rebuilds by the property tests);
+    - bulk loads, more deltas than the recompute threshold, or any
+      out-of-band store mutation (version advanced without a recorded
+      delta) -> full rebuild from the id-space columns.
+    """
+
+    def __init__(
+        self,
+        store: "TripleStore",
+        object_histogram_limit: int = DEFAULT_OBJECT_HISTOGRAM_LIMIT,
+        rebuild_ratio: float = 0.25,
+        min_rebuild: int = 64,
+    ):
+        self._store = store
+        self._histogram_limit = object_histogram_limit
+        self._rebuild_ratio = rebuild_ratio
+        self._min_rebuild = min_rebuild
+        self._summary: CharacteristicSets | None = None
+        self._deltas: list[tuple[int, "Triple"]] = []
+        self._known_version = -1
+        self._force_rebuild = False
+        #: Working entity maps for incremental updates (term-keyed):
+        #: subject -> Counter of elements, object -> Counter of predicates.
+        self._subj: dict[Term, Counter] | None = None
+        self._obj: dict[Term, Counter] | None = None
+        #: Rebuild/incremental counters, exposed for tests and metrics.
+        self.rebuilds = 0
+        self.incremental_updates = 0
+
+    # ------------------------------------------------------- delta intake
+
+    def record_add(self, triple: "Triple") -> None:
+        self._record(1, triple)
+
+    def record_remove(self, triple: "Triple") -> None:
+        self._record(-1, triple)
+
+    def record_bulk(self) -> None:
+        """A batch load happened: always recompute on next access."""
+        self._force_rebuild = True
+        self._deltas.clear()
+        self._known_version = self._store.version
+
+    def _record(self, sign: int, triple: "Triple") -> None:
+        if self._summary is None:
+            # Nothing built yet; the first summary() builds from scratch.
+            self._known_version = self._store.version
+            return
+        if self._subj is None:
+            self._force_rebuild = True
+        else:
+            self._deltas.append((sign, triple))
+        self._known_version = self._store.version
+
+    # ----------------------------------------------------------- summary
+
+    def install(self, summary: CharacteristicSets) -> bool:
+        """Adopt a persisted summary; True when it matches the store.
+
+        A loaded summary has no working entity maps, so the first
+        recorded delta after installation forces a rebuild.
+        """
+        if summary.triples != len(self._store):
+            return False
+        summary.version = self._store.version
+        self._summary = summary
+        self._subj = None
+        self._obj = None
+        self._deltas.clear()
+        self._force_rebuild = False
+        self._known_version = self._store.version
+        return True
+
+    def summary(self) -> CharacteristicSets:
+        store = self._store
+        current = store.version
+        summary = self._summary
+        if summary is not None and summary.version == current and not self._force_rebuild:
+            return summary
+        threshold = (
+            0
+            if summary is None
+            else max(self._min_rebuild, int(self._rebuild_ratio * summary.triples))
+        )
+        if (
+            summary is None
+            or self._force_rebuild
+            or self._subj is None
+            or self._known_version != current
+            or len(self._deltas) > threshold
+        ):
+            self._rebuild()
+        else:
+            self._apply_deltas()
+        self._deltas.clear()
+        self._force_rebuild = False
+        self._known_version = current
+        assert self._summary is not None
+        return self._summary
+
+    def _rebuild(self) -> None:
+        store = self._store
+        self._summary = build_charsets(store, self._histogram_limit)
+        subj: dict[Term, Counter] = {}
+        obj: dict[Term, Counter] = {}
+        for triple in store:
+            counter = subj.get(triple.subject)
+            if counter is None:
+                counter = subj[triple.subject] = Counter()
+            counter[triple.predicate] += 1
+            if triple.predicate == RDF_TYPE:
+                counter[class_marker(triple.object)] += 1
+            counter = obj.get(triple.object)
+            if counter is None:
+                counter = obj[triple.object] = Counter()
+            counter[triple.predicate] += 1
+        self._subj = subj
+        self._obj = obj
+        self.rebuilds += 1
+
+    # ------------------------------------------------------- incremental
+
+    def _apply_deltas(self) -> None:
+        summary = self._summary
+        assert summary is not None and self._subj is not None and self._obj is not None
+        store = self._store
+        touched: set[Term] = set()
+        for sign, triple in self._deltas:
+            self._apply_one(sign, triple, touched)
+            self.incremental_updates += 1
+        # Scalar per-predicate tallies are re-read from the store (which
+        # maintains them exactly); only touched predicates change.
+        for predicate in touched:
+            count = store.predicate_count(predicate)
+            if count == 0:
+                summary.predicates.pop(predicate, None)
+                continue
+            stats = summary.predicates.get(predicate)
+            histogram = stats.objects if stats is not None else None
+            if stats is None:
+                # Predicate newly appeared: build its histogram directly.
+                histogram = self._histogram_for(predicate)
+            summary.predicates[predicate] = PredicateStats(
+                count=count,
+                distinct_subjects=store.distinct_subjects(predicate),
+                distinct_objects=store.distinct_objects(predicate),
+                objects=histogram,
+            )
+        summary.triples = len(store)
+        summary.distinct_subjects = store.distinct_subjects()
+        summary.distinct_objects = store.distinct_objects()
+        summary.version = store.version
+
+    def _histogram_for(self, predicate: Term) -> dict[Term, int] | None:
+        store = self._store
+        p_id = store.dictionary.lookup(predicate)
+        if p_id is None:
+            return {}
+        histogram: dict[int, int] = {}
+        for __, __, o in store.match_ids(None, p_id, None):
+            histogram[o] = histogram.get(o, 0) + 1
+            if len(histogram) > self._histogram_limit:
+                return None
+        decode = store.dictionary.decode
+        return {decode(o): n for o, n in histogram.items()}
+
+    def _apply_one(self, sign: int, triple: "Triple", touched: set[Term]) -> None:
+        summary = self._summary
+        assert summary is not None and self._subj is not None and self._obj is not None
+        s, p, o = triple.subject, triple.predicate, triple.object
+        touched.add(p)
+
+        # Histogram update (exact while it stays under the width limit).
+        stats = summary.predicates.get(p)
+        if stats is not None and stats.objects is not None:
+            histogram = stats.objects
+            value = histogram.get(o, 0) + sign
+            if value > 0:
+                histogram[o] = value
+            else:
+                histogram.pop(o, None)
+            if len(histogram) > self._histogram_limit:
+                stats.objects = None
+
+        # ---- subject side: c_s(s, p) changes by sign -------------------
+        subject = self._subj.get(s)
+        if subject is None:
+            subject = self._subj[s] = Counter()
+        old_charset = frozenset(subject) if subject else None
+        subject_objects = self._obj.get(s, _EMPTY)
+        old_count = subject[p]
+        for q, n in subject.items():
+            if isinstance(q, tuple) or q == p:
+                continue
+            _bump(summary.ss_rows, (p, q), sign * n)
+            _bump(summary.ss_rows, (q, p), sign * n)
+        _bump(summary.ss_rows, (p, p), 2 * old_count + 1 if sign > 0 else -(2 * old_count - 1))
+        for q, n in subject_objects.items():
+            _bump(summary.os_rows, (q, p), sign * n)
+        if (sign > 0 and old_count == 0) or (sign < 0 and old_count == 1):
+            for q in subject_objects:
+                _bump(summary.os_pairs, (q, p), sign)
+        subject[p] += sign
+        if subject[p] <= 0:
+            del subject[p]
+        if p == RDF_TYPE:
+            marker = class_marker(o)
+            subject[marker] += sign
+            if subject[marker] <= 0:
+                del subject[marker]
+        new_charset = frozenset(subject) if subject else None
+        if old_charset != new_charset:
+            if old_charset is not None:
+                _bump(summary.sets, old_charset, -1)
+            if new_charset is not None:
+                _bump(summary.sets, new_charset, 1)
+        if not subject:
+            del self._subj[s]
+
+        # ---- object side: c_o(o, p) changes by sign --------------------
+        objects = self._obj.get(o)
+        if objects is None:
+            objects = self._obj[o] = Counter()
+        object_subjects = self._subj.get(o, _EMPTY)
+        old_count = objects[p]
+        for q, n in objects.items():
+            if q == p:
+                continue
+            _bump(summary.oo_rows, (p, q), sign * n)
+            _bump(summary.oo_rows, (q, p), sign * n)
+        _bump(summary.oo_rows, (p, p), 2 * old_count + 1 if sign > 0 else -(2 * old_count - 1))
+        for q, n in object_subjects.items():
+            if isinstance(q, tuple):
+                continue
+            _bump(summary.os_rows, (p, q), sign * n)
+        if (sign > 0 and old_count == 0) or (sign < 0 and old_count == 1):
+            for q in object_subjects:
+                if isinstance(q, tuple):
+                    continue
+                _bump(summary.os_pairs, (p, q), sign)
+            for q in objects:
+                if q == p:
+                    continue
+                _bump(summary.oo_pairs, (p, q), sign)
+                _bump(summary.oo_pairs, (q, p), sign)
+            _bump(summary.oo_pairs, (p, p), sign)
+        objects[p] += sign
+        if objects[p] <= 0:
+            del objects[p]
+        if not objects:
+            del self._obj[o]
+
+
+def _bump(table: dict, key, delta: int) -> None:
+    if not delta:
+        return
+    value = table.get(key, 0) + delta
+    if value:
+        table[key] = value
+    else:
+        table.pop(key, None)
+
+
+# ---------------------------------------------------------- persistence
+
+
+def save_charsets(path, summaries: dict[str, CharacteristicSets]) -> None:
+    """Persist per-endpoint summaries as one JSON document."""
+    import json
+
+    payload = {name: summary.to_dict() for name, summary in sorted(summaries.items())}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"), sort_keys=True)
+
+
+def load_charsets(path) -> dict[str, CharacteristicSets]:
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {name: CharacteristicSets.from_dict(data) for name, data in payload.items()}
+
+
+def federation_charsets(endpoints: Iterable) -> dict[str, CharacteristicSets]:
+    """Current summaries for every endpoint (building where needed)."""
+    return {endpoint.name: endpoint.charset_summary() for endpoint in endpoints}

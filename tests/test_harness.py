@@ -33,8 +33,21 @@ class TestRunQuery:
 
     def test_cold_protocol(self, paper_federation):
         engines = make_engines(paper_federation, which=("Lusail",))
+        engines["Lusail"].statistics = "probe"
         result = run_query(engines["Lusail"], "Qa", QA, warm=False)
         assert result.requests > 10  # probes included
+
+    def test_cold_protocol_charsets_cuts_probes(self, paper_federation):
+        # Characteristic-set statistics answer most metadata probes from
+        # local summaries: same rows, fewer cold requests.
+        probe_engine = make_engines(paper_federation, which=("Lusail",))["Lusail"]
+        probe_engine.statistics = "probe"
+        baseline = run_query(probe_engine, "Qa", QA, warm=False)
+        stats_engine = make_engines(paper_federation, which=("Lusail",))["Lusail"]
+        result = run_query(stats_engine, "Qa", QA, warm=False)
+        assert result.status == "ok"
+        assert result.result_rows == baseline.result_rows
+        assert result.requests < baseline.requests
 
     def test_timeout_status(self, paper_federation):
         engines = make_engines(paper_federation, which=("FedX",), timeout_ms=0.1)

@@ -7,6 +7,7 @@ import pytest
 from repro.cli import main as cli_main
 from repro.datasets import lubm
 from repro.harness import ENGINE_ORDER, RunResult, make_engines
+from repro.net import metrics as metrics_module
 from repro.net.metrics import REQUEST_KINDS
 from repro.obs import (
     NULL_SPAN,
@@ -247,10 +248,12 @@ def tiny_lubm():
     return lubm.build_federation(2, profile=lubm.TINY_PROFILE, seed=42)
 
 
-def _run_traced(federation, which, query):
+def _run_traced(federation, which, query, statistics="charsets"):
     tracer = Tracer(enabled=True)
     registry = MetricsRegistry()
     engines = make_engines(federation, which=which, tracer=tracer, registry=registry)
+    for engine in engines.values():
+        engine.statistics = statistics
     outcomes = {name: engine.execute(query) for name, engine in engines.items()}
     return tracer, registry, outcomes
 
@@ -268,7 +271,11 @@ class TestEngineIntegration:
         assert validate_trace([span_to_dict(s) for s in root.walk()]) == []
 
     def test_lusail_trace_covers_lifecycle_stages(self, tiny_lubm):
-        tracer, __, outcomes = _run_traced(tiny_lubm, ("Lusail",), lubm.queries()["Q4"])
+        # Probe statistics: the full remote-metadata lifecycle, check
+        # queries included, must appear in the trace.
+        tracer, __, outcomes = _run_traced(
+            tiny_lubm, ("Lusail",), lubm.queries()["Q4"], statistics="probe"
+        )
         assert outcomes["Lusail"].ok
         (root,) = tracer.roots
         for stage in (
@@ -284,6 +291,19 @@ class TestEngineIntegration:
             assert root.find(stage), f"no {stage} span in trace"
         check = root.find("check_query")[0]
         assert "endpoint" in check.attrs and "variable" in check.attrs
+
+    def test_lusail_trace_charsets_skips_checks(self, tiny_lubm):
+        # Characteristic-set statistics: the same lifecycle minus the
+        # check-query probes, with the skips accounted on the
+        # gjv_detection span and the summary fetch on the statistics span.
+        tracer, __, outcomes = _run_traced(tiny_lubm, ("Lusail",), lubm.queries()["Q4"])
+        assert outcomes["Lusail"].ok
+        (root,) = tracer.roots
+        detection = root.find("gjv_detection")[0]
+        assert detection.attrs["check_queries_skipped"] > 0
+        assert not root.find("check_query")
+        statistics = root.find("statistics")[0]
+        assert statistics.attrs["from_summary"] > 0
 
     def test_tracing_never_changes_results(self, tiny_lubm):
         # Tracing also switches on the estimate audit (probe re-execution,
@@ -347,7 +367,9 @@ class TestEngineIntegration:
 
     def test_all_engines_report_into_shared_registry(self, tiny_lubm):
         query = lubm.queries()["Q4"]
-        __, registry, outcomes = _run_traced(tiny_lubm, ENGINE_ORDER, query)
+        __, registry, outcomes = _run_traced(
+            tiny_lubm, ENGINE_ORDER, query, statistics="probe"
+        )
         assert all(outcome.ok for outcome in outcomes.values())
         for engine in ENGINE_ORDER:
             assert registry.counter_value("requests_total", engine=engine) > 0, engine
@@ -358,9 +380,10 @@ class TestEngineIntegration:
                 if dict(key).get("engine") == engine
             }
             assert endpoints == {"university0", "university1"}, engine
-        # Per-endpoint counters cover every request kind across engines.
+        # Per-endpoint counters cover every request kind across engines
+        # (no stats fetches in probe mode).
         kinds = registry.label_values("requests_total", "kind")
-        assert kinds == set(REQUEST_KINDS)
+        assert kinds == set(REQUEST_KINDS) - {metrics_module.STATS}
         # Lusail's pipeline-specific counters.
         assert registry.counter_value("check_queries_total", engine="Lusail") > 0
         assert registry.counter_value("subqueries_total", engine="Lusail") > 0
