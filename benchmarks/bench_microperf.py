@@ -904,6 +904,207 @@ def measure_metadata_requests(universities: int, seed: int) -> dict:
     return workload
 
 
+#: Crossing-heavy queries: the digest-pruned partial round must ship at
+#: least 2x fewer intermediate rows than the bound-join ladder on these.
+#: Q5's crossing join is high fan-out (bound-join's VALUES dedup already
+#: compresses it), so it rides along for the identity/auto gates only.
+_CROSSING_HEAVY = {"Q4", "Q6"}
+
+_PARTIAL_STRATEGIES = ("bound-join", "partial", "auto")
+
+
+def _row_signature(result) -> list:
+    order = sorted(range(len(result.vars)), key=lambda i: str(result.vars[i]))
+    names = [str(result.vars[i]) for i in order]
+    return sorted(
+        tuple(
+            (name, row[i].n3() if row[i] is not None else None)
+            for name, i in zip(names, order)
+        )
+        for row in result.rows
+    )
+
+
+def measure_partial_strategy(universities: int, seed: int) -> dict:
+    """Partial evaluation vs the bound-join ladder on crossing LUBM queries.
+
+    Builds one geo-distributed BENCH_PROFILE federation and runs every
+    crossing query (Q4-Q6) under three Lusail configurations — the
+    bound-join ladder, forced partial evaluation, and the auto picker —
+    measuring the *warm* second run on each engine (plan caches, charset
+    summaries and join digests primed, the steady state the picker
+    optimizes for).  Reports, per query:
+
+    - intermediate rows: bound-join's SELECT+VALUES rows shipped vs the
+      partial round's digest-pruned fragment rows;
+    - warm virtual time per strategy, and the auto picker's time vs the
+      better fixed strategy;
+    - partial round-trip discipline (exactly one ``partial`` request per
+      participating endpoint);
+    - exact row identity across all three strategies.
+
+    A second federation then replays constant-varied crossing fragments
+    under forced partial evaluation to measure the endpoint plan-cache
+    hit rate for the ``partial`` request kind: fragment canonicalization
+    must collapse fragments differing only in embedded constants onto
+    one compiled plan.
+    """
+    from repro.core.engine import LusailConfig
+    from repro.harness.runner import make_engines
+    from repro.net import metrics as metrics_module
+    from repro.net.simulator import geo_distributed_config
+    from repro.obs.registry import MetricsRegistry
+
+    federation = lubm.build_federation(
+        universities, profile=lubm.BENCH_PROFILE, seed=seed, geo=True
+    )
+    registry = MetricsRegistry()
+    engines = {
+        strategy: make_engines(
+            federation,
+            network_config=geo_distributed_config(),
+            which=("Lusail",),
+            registry=registry,
+            lusail_config=LusailConfig(strategy=strategy),
+        )["Lusail"]
+        for strategy in _PARTIAL_STRATEGIES
+    }
+
+    per_query: dict[str, dict] = {}
+    for query_name, query_text in lubm.crossing_queries().items():
+        rows_by_strategy: dict[str, list] = {}
+        virtual_ms: dict[str, float] = {}
+        entry: dict = {}
+        for strategy, engine in engines.items():
+            cold = engine.execute(query_text)
+            assert cold.ok, f"{strategy}/{query_name} cold run failed: {cold.status}"
+            fragment_mark = registry.counter_value("partial_rows_total", section="fragment")
+            warm = engine.execute(query_text)
+            assert warm.ok, f"{strategy}/{query_name} warm run failed: {warm.status}"
+            rows_by_strategy[strategy] = _row_signature(warm.result)
+            virtual_ms[strategy] = warm.metrics.virtual_ms
+            if strategy == "bound-join":
+                entry["bound_intermediate_rows"] = warm.metrics.rows_shipped(
+                    metrics_module.SELECT, metrics_module.BOUND
+                )
+            elif strategy == "partial":
+                entry["partial_intermediate_rows"] = int(
+                    registry.counter_value("partial_rows_total", section="fragment")
+                    - fragment_mark
+                )
+                rounds = [
+                    stats["by_kind"].get(metrics_module.PARTIAL, 0)
+                    for stats in warm.metrics.endpoint_summary().values()
+                ]
+                partial_rounds = [count for count in rounds if count]
+                assert partial_rounds and max(partial_rounds) == 1, (
+                    f"{query_name}: expected one partial round per participating "
+                    f"endpoint, got {rounds}"
+                )
+                entry["partial_requests"] = sum(partial_rounds)
+                entry["rounds_per_endpoint"] = max(partial_rounds)
+        reference = rows_by_strategy["bound-join"]
+        assert all(rows == reference for rows in rows_by_strategy.values()), (
+            f"{query_name}: strategies disagree on the answer"
+        )
+        best_fixed = min(virtual_ms["bound-join"], virtual_ms["partial"])
+        entry.update(
+            {
+                "rows": len(reference),
+                "rows_identical": True,
+                "virtual_ms": {name: round(ms, 3) for name, ms in virtual_ms.items()},
+                "reduction": entry["bound_intermediate_rows"]
+                / max(1, entry["partial_intermediate_rows"]),
+                "crossing_heavy": query_name in _CROSSING_HEAVY,
+                "auto_vs_best": virtual_ms["auto"] / max(1e-9, best_fixed),
+            }
+        )
+        per_query[query_name] = entry
+        print(
+            f"partial workload {query_name}: intermediate rows "
+            f"{entry['bound_intermediate_rows']} -> {entry['partial_intermediate_rows']} "
+            f"({entry['reduction']:.2f}x), warm virtual ms "
+            f"bound {virtual_ms['bound-join']:.1f} / partial {virtual_ms['partial']:.1f} "
+            f"/ auto {virtual_ms['auto']:.1f}"
+        )
+
+    workload = {
+        "universities": universities,
+        "endpoints": len(federation),
+        "queries": per_query,
+        "fragment_plan_cache": measure_fragment_plan_sharing(universities, seed),
+    }
+    return workload
+
+
+def measure_fragment_plan_sharing(universities: int, seed: int, variants: int = 8) -> dict:
+    """Endpoint plan-cache hit rate for constant-varied partial fragments.
+
+    Ships ``variants`` copies of a crossing query that differ only in an
+    embedded university IRI through forced partial evaluation against a
+    fresh federation.  Fragment canonicalization rewrites each shipped
+    fragment (and local-complete branch) to its parameterized skeleton,
+    so all variants must replay the compiled plans the first variant
+    built — the ``partial``-kind plan-cache hit rate is the direct
+    measure of that sharing.
+    """
+    from repro.core.engine import LusailConfig
+    from repro.harness.runner import make_engines
+    from repro.net.simulator import geo_distributed_config
+    from repro.obs.registry import MetricsRegistry
+
+    federation = lubm.build_federation(
+        universities, profile=lubm.BENCH_PROFILE, seed=seed, geo=True
+    )
+    registry = MetricsRegistry()
+    engine = make_engines(
+        federation,
+        network_config=geo_distributed_config(),
+        which=("Lusail",),
+        registry=registry,
+        lusail_config=LusailConfig(strategy="partial"),
+    )["Lusail"]
+    # Every combination is backed by real data (professors carry all
+    # three degree predicates and both classes exist), so each variant
+    # passes source selection and ships a genuine partial round; all of
+    # them canonicalize to the same fragment skeletons.
+    combos = [
+        (klass, predicate, lubm.university_iri(index))
+        for klass in ("ub:FullProfessor", "ub:AssociateProfessor")
+        for predicate in ("ub:mastersDegreeFrom", "ub:doctoralDegreeFrom")
+        for index in range(universities)
+    ]
+    variants = min(variants, len(combos))
+    for index in range(variants):
+        klass, predicate, university = combos[index]
+        query = f"""
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT ?y ?m WHERE {{
+  ?y a {klass} .
+  ?y {predicate} <{university.value}> .
+  ?y ub:doctoralDegreeFrom ?v .
+  ?v ub:name ?m .
+}}
+"""
+        outcome = engine.execute(query)
+        assert outcome.ok, f"variant {index} failed: {outcome.status}"
+    hits = int(registry.counter_value("plan_cache_hits_total", kind="partial"))
+    misses = int(registry.counter_value("plan_cache_misses_total", kind="partial"))
+    lookups = hits + misses
+    hit_rate = hits / lookups if lookups else 0.0
+    sharing = {
+        "variants": variants,
+        "plan_cache_hits": hits,
+        "plan_cache_misses": misses,
+        "hit_rate": hit_rate,
+    }
+    print(
+        f"fragment plan sharing: {variants} constant-varied queries, "
+        f"partial-kind plan-cache hit rate {hit_rate:.3f} ({hits}/{lookups})"
+    )
+    return sharing
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--universities", type=int, default=4)
@@ -913,6 +1114,7 @@ def main(argv=None) -> int:
     parser.add_argument("--join-out", default="BENCH_join.json")
     parser.add_argument("--plan-out", default="BENCH_plan.json")
     parser.add_argument("--store-out", default="BENCH_store.json")
+    parser.add_argument("--partial-out", default="BENCH_partial.json")
     parser.add_argument(
         "--scale",
         type=float,
@@ -999,6 +1201,22 @@ def main(argv=None) -> int:
         json.dump(plan_report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.plan_out}")
+
+    if not args.gate:
+        # Fixed protocol (3 geo-distributed BENCH_PROFILE universities,
+        # seed 7): the intermediate-row and round-trip gates are
+        # calibrated at this exact federation, independent of
+        # --universities/--seed, so the committed baseline stays
+        # comparable across runs.
+        partial_unis = 2 if args.smoke else 3
+        partial_report = {
+            "meta": dict(meta),
+            "workload": measure_partial_strategy(partial_unis, seed=7),
+        }
+        with open(args.partial_out, "w") as handle:
+            json.dump(partial_report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.partial_out}")
     return 0
 
 

@@ -10,11 +10,17 @@
 #    (scripts/trace_smoke.py);
 # 3. smoke-runs the data-plane micro-benchmark at tiny scale and asserts
 #    BENCH_micro.json / BENCH_join.json / BENCH_plan.json /
-#    BENCH_store.json are produced and well-formed, runs a dictionary
-#    round-trip check, and re-runs the columnar join, compiled-plan and
-#    array-substrate suites as perf-regression gates against the
-#    checked-in BENCH_join.json / BENCH_plan.json / BENCH_store.json —
-#    including the merge-beats-hash and >=1e5-triple scale gates
+#    BENCH_store.json / BENCH_partial.json are produced and well-formed,
+#    runs a dictionary round-trip check, re-runs the columnar join,
+#    compiled-plan and array-substrate suites as perf-regression gates
+#    against the checked-in BENCH_join.json / BENCH_plan.json /
+#    BENCH_store.json — including the merge-beats-hash and
+#    >=1e5-triple scale gates — and audits the committed
+#    BENCH_plan.json metadata workload and BENCH_partial.json
+#    partial-evaluation workload (>=2x intermediate-row reduction on
+#    crossing-heavy queries, one partial round per endpoint,
+#    row-identical answers, auto picker within 10% of the better fixed
+#    strategy, fragment plan-cache sharing)
 #    (scripts/microbench_smoke.py);
 # 4. runs one LUBM query under the seeded transient-fault profile and
 #    asserts the retry layer recovers deterministically

@@ -24,6 +24,14 @@
    requests ≥5x with row-identical answers and summary estimates within
    2x q-error of exact local counts, and COUNT-probe skeleton collapse
    holding the ``count`` plan-cache hit rate ≥0.75.
+7. Partial-evaluation gate: the committed BENCH_partial.json workload
+   must show the digest-pruned partial round shipping ≥2x fewer
+   intermediate rows than the bound-join ladder on the crossing-heavy
+   LUBM queries, exactly one ``partial`` round per participating
+   endpoint, row-identical answers across strategies, the auto picker
+   within 10% of the better fixed strategy in warm virtual time, and
+   fragment canonicalization holding the ``partial``-kind plan-cache
+   hit rate ≥0.7 over constant-varied fragments.
 """
 
 from __future__ import annotations
@@ -62,11 +70,13 @@ def check_microbench_smoke() -> None:
         join_out = Path(tmp) / "BENCH_join.json"
         plan_out = Path(tmp) / "BENCH_plan.json"
         store_out = Path(tmp) / "BENCH_store.json"
+        partial_out = Path(tmp) / "BENCH_partial.json"
         subprocess.run(
             [
                 sys.executable, "benchmarks/bench_microperf.py", "--smoke",
                 "--out", str(out), "--join-out", str(join_out),
                 "--plan-out", str(plan_out), "--store-out", str(store_out),
+                "--partial-out", str(partial_out),
             ],
             cwd=REPO,
             check=True,
@@ -76,6 +86,7 @@ def check_microbench_smoke() -> None:
         join_report = json.loads(join_out.read_text())
         plan_report = json.loads(plan_out.read_text())
         store_report = json.loads(store_out.read_text())
+        partial_report = json.loads(partial_out.read_text())
     assert set(report) == {"meta", "benches"}, f"unexpected keys: {set(report)}"
     expected = {"bgp_join", "mediator_join", "values_subquery"}
     assert set(report["benches"]) == expected, f"missing benches: {report['benches']}"
@@ -126,9 +137,28 @@ def check_microbench_smoke() -> None:
     for field in ("requests_per_query", "reduction", "stats_q_error_max", "rows_identical"):
         assert field in metadata, f"metadata workload missing {field}"
     assert metadata["rows_identical"] is True, "statistics changed smoke answers"
+    partial = partial_report["workload"]
+    assert partial.get("queries"), "partial workload missing per-query section"
+    for query_name, entry in partial["queries"].items():
+        for field in (
+            "bound_intermediate_rows", "partial_intermediate_rows", "reduction",
+            "virtual_ms", "rounds_per_endpoint", "rows_identical", "crossing_heavy",
+            "auto_vs_best",
+        ):
+            assert field in entry, f"partial workload {query_name} missing {field}"
+        assert entry["rows_identical"] is True, (
+            f"partial workload {query_name}: strategies disagreed in smoke run"
+        )
+        assert entry["rounds_per_endpoint"] == 1, (
+            f"partial workload {query_name}: multiple partial rounds per endpoint"
+        )
+    sharing = partial.get("fragment_plan_cache")
+    assert sharing and "hit_rate" in sharing, (
+        "partial workload missing fragment_plan_cache section"
+    )
     print(
         "microbench smoke ok (BENCH_micro.json / BENCH_join.json / "
-        "BENCH_plan.json / BENCH_store.json well-formed)"
+        "BENCH_plan.json / BENCH_store.json / BENCH_partial.json well-formed)"
     )
 
 
@@ -323,6 +353,56 @@ def check_metadata_workload_baseline() -> None:
     )
 
 
+#: Acceptance bars for the committed BENCH_partial.json workload.  Like
+#: the metadata gate, the partial workload only runs in full benchmark
+#: mode, so this audits the checked-in baseline: a full
+#: ``bench_microperf.py`` run must have cleared the issue's acceptance
+#: criteria before the baseline was committed.
+_PARTIAL_REDUCTION_FLOOR = 2.0
+_AUTO_OVERHEAD_CEILING = 1.1
+_FRAGMENT_HIT_RATE_FLOOR = 0.7
+
+
+def check_partial_baseline() -> None:
+    baseline_path = REPO / "BENCH_partial.json"
+    assert baseline_path.exists(), "BENCH_partial.json baseline missing from repo root"
+    workload = json.loads(baseline_path.read_text())["workload"]
+    heavy = []
+    for query_name, entry in workload["queries"].items():
+        assert entry["rows_identical"] is True, (
+            f"partial baseline {query_name}: strategies disagreed on the answer"
+        )
+        assert entry["rounds_per_endpoint"] == 1, (
+            f"partial baseline {query_name}: partial evaluation took "
+            f"{entry['rounds_per_endpoint']} rounds per endpoint (expected 1)"
+        )
+        auto_ratio = entry["auto_vs_best"]
+        assert auto_ratio <= _AUTO_OVERHEAD_CEILING, (
+            f"partial baseline {query_name}: auto picker {auto_ratio:.2f}x slower "
+            f"than the better fixed strategy (> {_AUTO_OVERHEAD_CEILING}x)"
+        )
+        if entry["crossing_heavy"]:
+            heavy.append(query_name)
+            reduction = entry["reduction"]
+            assert reduction >= _PARTIAL_REDUCTION_FLOOR, (
+                f"partial baseline {query_name}: intermediate-row reduction "
+                f"{reduction:.2f}x < {_PARTIAL_REDUCTION_FLOOR}x"
+            )
+    assert heavy, "partial baseline has no crossing-heavy queries"
+    hit_rate = workload["fragment_plan_cache"]["hit_rate"]
+    assert hit_rate >= _FRAGMENT_HIT_RATE_FLOOR, (
+        f"fragment canonicalization regressed: partial-kind plan-cache hit rate "
+        f"{hit_rate:.3f} < {_FRAGMENT_HIT_RATE_FLOOR}"
+    )
+    reductions = ", ".join(
+        f"{name} {workload['queries'][name]['reduction']:.2f}x" for name in heavy
+    )
+    print(
+        f"partial gate: intermediate rows cut {reductions}, one round/endpoint, "
+        f"fragment plan-cache hit rate {hit_rate:.3f} ok"
+    )
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
     check_dictionary_round_trip()
@@ -331,6 +411,7 @@ def main() -> int:
     check_plan_regression()
     check_store_regression()
     check_metadata_workload_baseline()
+    check_partial_baseline()
     return 0
 
 

@@ -153,12 +153,26 @@ def _write_trace(tracer: Tracer, args) -> None:
         print(f"trace written to {args.trace_out}")
 
 
+def _lusail_config(args):
+    """Lusail config overrides from CLI flags, or None for the defaults."""
+    strategy = getattr(args, "strategy", None)
+    if strategy is None:
+        return None
+    from repro.core.engine import LusailConfig
+
+    return LusailConfig(strategy=strategy)
+
+
 def cmd_query(args) -> int:
     federation = _build_federation(args)
     config = geo_distributed_config() if args.geo else local_cluster_config()
     tracer = Tracer(enabled=True) if args.trace_out else None
     engines = make_engines(
-        federation, network_config=config, which=(args.engine,), tracer=tracer
+        federation,
+        network_config=config,
+        which=(args.engine,),
+        tracer=tracer,
+        lusail_config=_lusail_config(args),
     )
     engine = engines[args.engine]
     text = _resolve_query(args)
@@ -235,6 +249,28 @@ def _lane_line(metrics) -> str:
     return "endpoint lane utilization: " + ", ".join(parts)
 
 
+def _requests_by_kind_line(metrics) -> str:
+    """Per-kind request counts (issued, plus cache hits) for one query.
+
+    Covers every request kind on the wire — subquery selects, bound
+    blocks, ask/check/count probes, stats fetches, and whole-branch
+    ``partial`` rounds — in the stable REQUEST_KINDS order.
+    """
+    from repro.net.metrics import REQUEST_KINDS
+
+    issued = metrics.requests_by_kind()
+    total = metrics.requests_by_kind(include_cached=True)
+    parts = []
+    for kind in REQUEST_KINDS:
+        count = issued.get(kind, 0)
+        cached = total.get(kind, 0) - count
+        if not count and not cached:
+            continue
+        suffix = f" (+{cached} cached)" if cached else ""
+        parts.append(f"{kind} {count}{suffix}")
+    return ", ".join(parts) if parts else "(none)"
+
+
 def cmd_profile(args) -> int:
     """Run one query with tracing enabled and print the span tree."""
     federation = _build_federation(args)
@@ -247,6 +283,7 @@ def cmd_profile(args) -> int:
         which=(args.engine,),
         tracer=tracer,
         registry=registry,
+        lusail_config=_lusail_config(args),
     )
     engine = engines[args.engine]
     outcome = engine.execute(_resolve_query(args))
@@ -272,7 +309,8 @@ def cmd_profile(args) -> int:
     )
     print(
         f"metadata requests per query: {metadata} issued "
-        f"(ask/check/count/stats; {metadata_cached} served from cache)"
+        f"({metadata_cached} served from cache); by kind: "
+        + _requests_by_kind_line(metrics)
     )
     latency_line = _latency_line(registry)
     if latency_line:
@@ -305,7 +343,12 @@ def cmd_explain_analyze(args) -> int:
     failed = False
     for engine_name in which:
         run = profile_query(
-            engine_name, federation, args.name or "-", text, network_config=config
+            engine_name,
+            federation,
+            args.name or "-",
+            text,
+            network_config=config,
+            lusail_config=_lusail_config(args),
         )
         runs.append(run)
         report = run.report
@@ -460,18 +503,19 @@ def cmd_bench(args) -> int:
     elif name == "ablation":
         rows = experiments.ablation()
     elif name in ("fig11", "fig12-2", "fig12-4", "fig13", "fig14c", "real"):
+        lusail_config = _lusail_config(args)
         if name == "fig11":
-            results = experiments.fig11_qfed()
+            results = experiments.fig11_qfed(config=lusail_config)
         elif name == "fig12-2":
-            results = experiments.fig12_lubm(2)
+            results = experiments.fig12_lubm(2, config=lusail_config)
         elif name == "fig12-4":
-            results = experiments.fig12_lubm(4)
+            results = experiments.fig12_lubm(4, config=lusail_config)
         elif name == "fig13":
-            results = experiments.fig13_largerdfbench()
+            results = experiments.fig13_largerdfbench(config=lusail_config)
         elif name == "fig14c":
-            results = experiments.fig14c_geo_lubm()
+            results = experiments.fig14c_geo_lubm(config=lusail_config)
         else:
-            results = experiments.real_endpoints()
+            results = experiments.real_endpoints(config=lusail_config)
         order = [e for e in ENGINE_ORDER if any(r.engine == e for r in results)]
         print(results_by_query(results, order))
     else:
@@ -516,6 +560,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--name", help="named benchmark query (e.g. Q1, C2P2, S3, R1)")
     query.add_argument("--query-file", help="file containing a SPARQL query")
     query.add_argument("--limit", type=int, default=10, help="rows to print")
+    query.add_argument("--strategy", choices=["auto", "partial", "bound-join"],
+                       help="Lusail execution strategy (default: engine default)")
     query.add_argument("--trace-out", help="write the query's span trace")
     query.add_argument("--trace-format", default="jsonl", choices=["jsonl", "chrome"],
                        help="trace file format (JSONL spans or Chrome trace events)")
@@ -533,6 +579,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["fig03", "table01", "preprocessing", "fig09", "fig10a",
                                 "fig10bc", "fig11", "fig12-2", "fig12-4", "fig13",
                                 "fig14c", "real", "ablation"])
+    bench.add_argument("--strategy", choices=["auto", "partial", "bound-join"],
+                       help="Lusail execution strategy for the result experiments")
     bench.add_argument("--json", help="write engine x query results as JSON")
     bench.add_argument("--trace-out", help="write every query's span trace")
     bench.add_argument("--trace-format", default="jsonl", choices=["jsonl", "chrome"],
@@ -550,6 +598,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--trace-out", help="write the span trace")
     profile.add_argument("--trace-format", default="jsonl", choices=["jsonl", "chrome"],
                          help="trace file format (JSONL spans or Chrome trace events)")
+    profile.add_argument("--strategy", choices=["auto", "partial", "bound-join"],
+                         help="Lusail execution strategy (default: engine default)")
     profile.add_argument("--json", help="write a metrics-registry snapshot as JSON")
     profile.set_defaults(func=cmd_profile)
 
@@ -564,6 +614,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain_analyze.add_argument("--name", help="named benchmark query")
     explain_analyze.add_argument("--query-file", help="file containing a SPARQL query")
+    explain_analyze.add_argument(
+        "--strategy", choices=["auto", "partial", "bound-join"],
+        help="Lusail execution strategy (default: engine default)")
     explain_analyze.add_argument("--json", help="write the ProfileReport(s) as JSON")
     explain_analyze.set_defaults(func=cmd_explain_analyze)
 

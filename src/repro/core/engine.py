@@ -29,6 +29,11 @@ from repro.core.execution.cost_model import (
     collect_statistics,
     decide_delays,
 )
+from repro.core.execution.partial import (
+    PartialBranchScheduler,
+    StrategyDecision,
+    choose_strategy,
+)
 from repro.core.execution.scheduler import (
     BranchScheduler,
     SchedulerConfig,
@@ -85,6 +90,12 @@ class LusailConfig:
     #: provable (remote probes as fallback); "probe" is the pure
     #: per-query probe path the paper describes.
     statistics: str = "charsets"
+    #: Execution strategy for required subqueries: "bound-join" is the
+    #: paper's SAPE ladder, "partial" ships the whole branch to every
+    #: endpoint in one round and assembles partial matches at the
+    #: mediator (:mod:`repro.core.execution.partial`), and "auto" picks
+    #: per branch from the charset-statistics cost estimates.
+    strategy: str = "bound-join"
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
@@ -254,10 +265,15 @@ class LusailEngine(FederatedEngine):
             )
             phases["analysis"] = now - analysis_start
 
-            # ---- Phase 3: execution (SAPE) -----------------------------
+            # ---- Phase 3: execution (SAPE or partial evaluation) -------
             execution_start = now
-            with tracer.span("execution", t0=now) as span:
-                scheduler = self.scheduler_class(
+            scheduler_class, decision = self._resolve_strategy(
+                plan, needed_vars, estimates, client
+            )
+            with tracer.span(
+                "execution", t0=now, strategy=decision.strategy
+            ) as span:
+                scheduler = scheduler_class(
                     client=client,
                     plan=plan,
                     needed_vars=needed_vars,
@@ -267,6 +283,27 @@ class LusailEngine(FederatedEngine):
                 )
                 outcome = scheduler.run(now)
                 now = outcome.end_ms + self.mediator.row_ms * outcome.join_cost_units
+                if client.audit.enabled:
+                    # The picker's crossing-selectivity estimate against
+                    # the digest-pruning survival the partial round
+                    # actually measured (echoed for bound-join runs,
+                    # where nothing measures it).  Recorded as percent:
+                    # the q-error histogram clamps values below 1.
+                    actual = (
+                        scheduler.actual_crossing_selectivity()
+                        if isinstance(scheduler, PartialBranchScheduler)
+                        else decision.estimated_crossing_selectivity
+                    )
+                    client.audit.record(
+                        "strategy",
+                        100.0 * decision.estimated_crossing_selectivity,
+                        100.0 * actual,
+                        span=span,
+                        strategy=decision.strategy,
+                        reason=decision.reason,
+                        est_partial_rows=round(decision.est_partial_rows, 1),
+                        est_bound_rows=round(decision.est_bound_rows, 1),
+                    )
                 if client.audit.enabled and plan.subqueries:
                     # SAPE treats max C(sq) as the bound on what the
                     # branch can produce; audit it against the branch's
@@ -291,6 +328,37 @@ class LusailEngine(FederatedEngine):
             )
             branch_span.set(rows=len(outcome.relation)).end(now)
         return outcome.relation, now, phases
+
+    # ------------------------------------------------------------ strategy
+
+    def _resolve_strategy(
+        self, plan, needed_vars, estimates, client
+    ) -> tuple[type[BranchScheduler], StrategyDecision]:
+        """Pick the branch scheduler class for the configured strategy.
+
+        The multi-query optimizer swaps ``scheduler_class`` for a
+        sharing variant; partial evaluation cannot substitute for that,
+        so any non-default scheduler always wins and the decision is
+        recorded as forced.
+        """
+        requested = self.config.strategy
+        if requested not in ("auto", "partial", "bound-join"):
+            raise ValueError(f"unknown execution strategy {requested!r}")
+        if self.scheduler_class is not BranchScheduler:
+            decision = choose_strategy(plan, needed_vars, estimates, client)
+            return self.scheduler_class, replace(
+                decision,
+                strategy="bound-join",
+                reason="scheduler overridden (multi-query optimizer)",
+            )
+        decision = choose_strategy(plan, needed_vars, estimates, client)
+        if requested != "auto" and requested != decision.strategy:
+            decision = replace(
+                decision, strategy=requested, reason="forced by configuration"
+            )
+        if decision.strategy == "partial":
+            return PartialBranchScheduler, decision
+        return BranchScheduler, decision
 
     # -------------------------------------------------------- decomposition
 
@@ -526,6 +594,15 @@ class LusailEngine(FederatedEngine):
             )
             lines.append(f"  global join variables: {plan.gjv_names() or '(none)'}")
             lines.append(f"  check queries run: {plan.check_query_count}")
+            __, strategy_decision = self._resolve_strategy(
+                plan, needed, estimates, client
+            )
+            lines.append(
+                f"  strategy [{self.config.strategy}]: "
+                f"{strategy_decision.strategy} ({strategy_decision.reason}; "
+                f"est. crossing selectivity "
+                f"{strategy_decision.estimated_crossing_selectivity:.2f})"
+            )
             lines.append(
                 f"  delay decision [{self.config.delay_policy.value}]: "
                 f"cardinality threshold={decision.cardinality_threshold:.1f}, "

@@ -10,12 +10,15 @@ from repro.core.execution.cost_model import (
 )
 from repro.core.execution.join_order import JoinPlanNode, execute_plan, plan_joins
 from repro.core.execution.outliers import RobustStats, chauvenet_outliers, robust_stats
+from repro.core.execution.partial import PartialBranchScheduler, StrategyDecision, choose_strategy
 from repro.core.execution.request_handler import ElasticRequestHandler
 from repro.core.execution.scheduler import BranchOutcome, BranchScheduler, SchedulerConfig
 
 __all__ = [
     "BranchOutcome",
     "BranchScheduler",
+    "PartialBranchScheduler",
+    "StrategyDecision",
     "CardinalityEstimates",
     "DelayDecision",
     "DelayPolicy",
@@ -24,6 +27,7 @@ __all__ = [
     "RobustStats",
     "SchedulerConfig",
     "chauvenet_outliers",
+    "choose_strategy",
     "collect_statistics",
     "count_query",
     "decide_delays",

@@ -299,6 +299,51 @@ SELECT ?x ?y ?u ?n WHERE {
 """
 
 
+def query_q5() -> str:
+    """Crossing fan-out: every graduate student at the university where
+    a full professor earned their doctorate.  The crossing join has high
+    fan-out (one remote university expands to all of its students), the
+    regime where shipping join *inputs* beats shipping join results."""
+    return _PREFIX + """
+SELECT ?y ?u ?x WHERE {
+  ?y a ub:FullProfessor .
+  ?y ub:doctoralDegreeFrom ?u .
+  ?z ub:subOrganizationOf ?u .
+  ?x ub:memberOf ?z .
+  ?x a ub:GraduateStudent .
+}
+"""
+
+
+def query_q6() -> str:
+    """Double crossing: full professors with the names of both their
+    masters and doctoral universities.  Two independent crossing edges
+    (three fragments), each against the name predicate — almost every
+    locally-named entity is *not* a referenced university, so join-value
+    digests prune the name fragments to nearly nothing."""
+    return _PREFIX + """
+SELECT ?y ?n ?m WHERE {
+  ?y a ub:FullProfessor .
+  ?y ub:mastersDegreeFrom ?u .
+  ?u ub:name ?n .
+  ?y ub:doctoralDegreeFrom ?v .
+  ?v ub:name ?m .
+}
+"""
+
+
 def queries() -> dict[str, str]:
     """The paper's four LUBM queries."""
     return {"Q1": query_q1(), "Q2": query_q2(), "Q3": query_q3(), "Q4": query_q4()}
+
+
+def crossing_queries() -> dict[str, str]:
+    """Queries whose joins must cross endpoint boundaries.
+
+    The partial-evaluation benchmarks run these head-to-head against the
+    bound-join ladder: Q4 and Q6 are crossing-heavy (most of their
+    intermediate volume is prunable by join-value digests), while Q5 is
+    the high-fan-out case where partial evaluation wins on rounds and
+    virtual time but both strategies ship similar input volumes.
+    """
+    return {"Q4": query_q4(), "Q5": query_q5(), "Q6": query_q6()}

@@ -174,6 +174,10 @@ class EngineCaches:
     #: (the simulator's stand-in for an ETag'd HEAD request), so a stale
     #: summary is re-fetched rather than served.
     stats: ProbeCache = field(default_factory=ProbeCache)
+    #: Join-value digests keyed by ``(endpoint, predicate, position)``.
+    #: Validated against ``store.version`` like the stats summaries, so
+    #: partial-evaluation pruning never uses a stale fingerprint set.
+    digest: ProbeCache = field(default_factory=ProbeCache)
 
     @classmethod
     def disabled(cls) -> "EngineCaches":
@@ -182,6 +186,7 @@ class EngineCaches:
             check=ProbeCache(enabled=False),
             count=ProbeCache(enabled=False),
             stats=ProbeCache(enabled=False),
+            digest=ProbeCache(enabled=False),
         )
 
     def clear(self) -> None:
@@ -189,3 +194,4 @@ class EngineCaches:
         self.check.clear()
         self.count.clear()
         self.stats.clear()
+        self.digest.clear()

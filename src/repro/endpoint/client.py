@@ -43,7 +43,9 @@ from repro.obs.trace import Tracer, get_default_tracer
 from repro.rdf.triple import TriplePattern
 from repro.sparql.ast import AskQuery, Query, SelectQuery
 from repro.sparql.evaluator import SelectResult
+from repro.sparql.partial import PartialResult, PartialSpec
 from repro.sparql.serializer import query_bytes
+from repro.store.digests import digest_bytes
 
 #: Fixed per-term serialization overhead (tags, quoting) used by the
 #: payload size estimate.
@@ -365,6 +367,41 @@ class FederationClient:
         self.caches.stats.put(endpoint_name, summary)
         return summary, end
 
+    def join_digest(
+        self, endpoint_name: str, predicate, position: str, at_ms: float
+    ) -> tuple[frozenset[int], float]:
+        """Fetch one endpoint's join-value digest for a predicate end.
+
+        Digests (:mod:`repro.store.digests`) are planner metadata like
+        the charset summaries: fetched as a ``stats`` request, cached in
+        :attr:`EngineCaches.digest` across queries, and validated
+        against the endpoint's ``store.version`` on every use — so the
+        partial path pays for each digest once per federation state, not
+        once per query.
+        """
+        endpoint = self.federation.get(endpoint_name)
+        version = endpoint.store.version
+        key = (endpoint_name, predicate, position)
+        hit = self.caches.digest.get(key)
+        fresh = hit is not MISSING and hit[0] == version
+        if self.caches.digest.enabled:
+            self._count_cache("digest", fresh)
+        if fresh:
+            end = self._issue(endpoint_name, metrics_module.STATS, at_ms, 0, 0, cached=True)
+            return hit[1], end
+        digest = endpoint.join_digest(predicate, position)
+        end = self._issue(
+            endpoint_name,
+            metrics_module.STATS,
+            at_ms,
+            0,
+            72,
+            cached=False,
+            response_bytes=digest_bytes(digest),
+        )
+        self.caches.digest.put(key, (version, digest))
+        return digest, end
+
     def _mirror_shard_stats(self, endpoint, kind: str) -> int:
         """Feed the endpoint's per-shard lane stats into observability.
 
@@ -427,6 +464,67 @@ class FederationClient:
             cached=False,
             response_bytes=_payload_bytes(result),
             shards=shards,
+        )
+        return result, end
+
+    def partial(
+        self, endpoint_name: str, spec: PartialSpec, at_ms: float
+    ) -> tuple[PartialResult, float]:
+        """One whole-query partial-evaluation round at an endpoint.
+
+        Ships the branch's local-complete query plus its fragment
+        SELECTs (with their pruning digests) as a single ``partial``
+        request; the response carries the local-complete rows and every
+        fragment's surviving partial matches.  The request's virtual
+        cost covers all shipped queries, embedded digests, and the full
+        response payload — one request, one round trip, however many
+        fragments ride along.
+        """
+        endpoint = self.federation.get(endpoint_name)
+        result = self._evaluate_with_plan_metrics(
+            endpoint,
+            metrics_module.PARTIAL,
+            lambda: endpoint.partial_evaluate(spec),
+        )
+        request_bytes = 0
+        if spec.complete is not None:
+            request_bytes += query_bytes(spec.complete)
+        response_bytes = 0
+        if result.complete is not None:
+            response_bytes += _payload_bytes(result.complete)
+        for fragment_spec in spec.fragments:
+            request_bytes += query_bytes(fragment_spec.query)
+            request_bytes += fragment_spec.digest_bytes()
+        for fragment in result.fragments:
+            response_bytes += _payload_bytes(fragment.result)
+        registry = self.registry
+        engine = self.engine
+        complete_rows = result.complete_rows()
+        fragment_rows = result.fragment_rows()
+        if complete_rows:
+            registry.inc(
+                "partial_rows_total", complete_rows,
+                engine=engine, endpoint=endpoint_name, section="complete",
+            )
+        if fragment_rows:
+            registry.inc(
+                "partial_rows_total", fragment_rows,
+                engine=engine, endpoint=endpoint_name, section="fragment",
+            )
+        pruned = result.pruned_rows()
+        if pruned:
+            registry.inc(
+                "partial_pruned_rows_total", pruned,
+                engine=engine, endpoint=endpoint_name,
+            )
+        end = self._issue(
+            endpoint_name,
+            metrics_module.PARTIAL,
+            at_ms,
+            result.total_rows(),
+            request_bytes,
+            cached=False,
+            response_bytes=response_bytes,
         )
         return result, end
 

@@ -28,8 +28,9 @@ from repro.net import regions as regions_module
 from repro.rdf.triple import Triple, TriplePattern
 from repro.sparql.ast import BGP, AskQuery, ExistsExpr, Filter, Query, SelectQuery
 from repro.sparql.evaluator import SelectResult
+from repro.sparql.partial import FragmentResult, PartialResult, PartialSpec, prune_rows
 from repro.sparql.plan import CompiledPlan, compile_query, split_parameters
-from repro.sparql.skeleton import Canonicalized, canonicalize_query
+from repro.sparql.skeleton import Canonicalized, canonicalize_query, is_fragment_shape
 from repro.store.triple_store import TripleStore
 
 
@@ -105,6 +106,10 @@ class Endpoint:
         #: created lazily by :meth:`charset_summary`; None until the
         #: statistics path first asks for a summary.
         self._charset_maintainer = None
+        #: Join-value digest index (repro.store.digests), created lazily
+        #: by :meth:`join_digest`; None until partial evaluation first
+        #: asks for a fingerprint set.
+        self._digest_index = None
         #: Per-shard lane statistics of the most recent ``select()``:
         #: one dict per shard with input/output row counts and
         #: wall-clock seconds.  Empty when the last query ran unsharded.
@@ -224,6 +229,58 @@ class Endpoint:
         if canonical is not None:
             result = canonical.restore(result)
         return result
+
+    def _fragment_select(self, query: SelectQuery) -> SelectResult:
+        """Run one partial-evaluation SELECT through the plan cache.
+
+        Fragment-shaped queries (flat BGP + FILTER SELECTs, see
+        :func:`repro.sparql.skeleton.is_fragment_shape`) are skeleton-
+        canonicalized first, so branch fragments that differ only in
+        variable names or embedded constants replay one compiled plan
+        with fresh parameter bindings.  Runs single-lane: a partial
+        round is one request, its response time is dominated by the
+        rows shipped rather than local evaluation.
+        """
+        canonical = canonicalize_query(query) if is_fragment_shape(query) else None
+        plan, params, _probe_canonical = self._plan_for(
+            query if canonical is None else canonical.query
+        )
+        started = perf_counter()
+        result = plan.execute_select(params, max_rows=self.result_limit)
+        self.plan_execute_s += perf_counter() - started
+        if canonical is not None:
+            result = canonical.restore(result)
+        return result
+
+    def partial_evaluate(self, spec: PartialSpec) -> PartialResult:
+        """Answer one partial-evaluation round (the whole branch at once).
+
+        Evaluates the local-complete whole-branch query (when shipped)
+        and every fragment SELECT locally, then applies each fragment's
+        join-value digests so rows that cannot participate in any
+        cross-endpoint match never reach the wire.
+        """
+        complete = None
+        if spec.complete is not None:
+            complete = self._fragment_select(spec.complete)
+        fragments: list[FragmentResult] = []
+        for fragment in spec.fragments:
+            result = self._fragment_select(fragment.query)
+            kept, pruned = prune_rows(result, fragment.digests)
+            result.rows = kept
+            fragments.append(FragmentResult(fragment.id, result, pruned))
+        return PartialResult(complete, fragments)
+
+    def join_digest(self, predicate, position) -> frozenset[int]:
+        """Fingerprints of this store's values for ``predicate`` at
+        ``position`` (see :mod:`repro.store.digests`); lazily built and
+        invalidated with ``store.version``."""
+        index = self._digest_index
+        if index is None:
+            from repro.store.digests import JoinDigestIndex
+
+            index = self._digest_index = JoinDigestIndex(self.store)
+        return index.digest(predicate, position)
 
     def ask(self, query: AskQuery) -> bool:
         """Run an ASK query locally."""

@@ -274,9 +274,9 @@ def fig10bc_endpoint_scaling(endpoint_counts: tuple[int, ...] = (4, 16, 64, 256)
 # Fig 11 — QFed, all systems.
 
 
-def fig11_qfed() -> list[RunResult]:
+def fig11_qfed(config: LusailConfig | None = None) -> list[RunResult]:
     federation = qfed_federation()
-    engines = make_engines(federation)
+    engines = make_engines(federation, lusail_config=config)
     return run_matrix(engines, qfed.queries())
 
 
@@ -284,9 +284,11 @@ def fig11_qfed() -> list[RunResult]:
 # Fig 12 — LUBM on 2 and 4 endpoints, all systems.
 
 
-def fig12_lubm(universities: int) -> list[RunResult]:
+def fig12_lubm(
+    universities: int, config: LusailConfig | None = None
+) -> list[RunResult]:
     federation = lubm_federation(universities)
-    engines = make_engines(federation)
+    engines = make_engines(federation, lusail_config=config)
     return run_matrix(engines, lubm.queries())
 
 
@@ -294,9 +296,13 @@ def fig12_lubm(universities: int) -> list[RunResult]:
 # Fig 13 — LargeRDFBench, all systems, local cluster.
 
 
-def fig13_largerdfbench(category: str | None = None, scale: float = 1.6) -> list[RunResult]:
+def fig13_largerdfbench(
+    category: str | None = None,
+    scale: float = 1.6,
+    config: LusailConfig | None = None,
+) -> list[RunResult]:
     federation = largerdf_federation(scale=scale)
-    engines = make_engines(federation)
+    engines = make_engines(federation, lusail_config=config)
     if category is None:
         queries = queries_largerdf.paper_selection()
     else:
@@ -316,10 +322,13 @@ def fig14_geo_largerdf(category: str) -> list[RunResult]:
     return run_matrix(engines, queries_largerdf.by_category(category))
 
 
-def fig14c_geo_lubm() -> list[RunResult]:
+def fig14c_geo_lubm(config: LusailConfig | None = None) -> list[RunResult]:
     federation = lubm_federation(2, geo=True)
     engines = make_engines(
-        federation, network_config=geo_distributed_config(), timeout_ms=GEO_TIMEOUT_MS
+        federation,
+        network_config=geo_distributed_config(),
+        timeout_ms=GEO_TIMEOUT_MS,
+        lusail_config=config,
     )
     return run_matrix(engines, lubm.queries())
 
@@ -328,13 +337,14 @@ def fig14c_geo_lubm() -> list[RunResult]:
 # Sec VI-D — real (Bio2RDF-style) endpoints.
 
 
-def real_endpoints() -> list[RunResult]:
+def real_endpoints(config: LusailConfig | None = None) -> list[RunResult]:
     federation = bio2rdf_federation(geo=True)
     engines = make_engines(
         federation,
         which=("Lusail", "FedX"),
         network_config=geo_distributed_config(),
         timeout_ms=GEO_TIMEOUT_MS,
+        lusail_config=config,
     )
     return run_matrix(engines, bio2rdf.queries())
 

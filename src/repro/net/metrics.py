@@ -24,8 +24,12 @@ COUNT = "count"
 SELECT = "select"
 BOUND = "bound"
 STATS = "stats"
+#: One whole-query partial-evaluation round: the mediator ships the full
+#: branch plan to an endpoint and gets back local-complete matches plus
+#: compact partial (fragment) matches in a single request.
+PARTIAL = "partial"
 
-REQUEST_KINDS = (ASK, CHECK, COUNT, SELECT, BOUND, STATS)
+REQUEST_KINDS = (ASK, CHECK, COUNT, SELECT, BOUND, STATS, PARTIAL)
 
 #: Planner metadata kinds: requests that ship no result rows, only the
 #: information needed to plan (source-selection ASKs, locality checks,

@@ -56,7 +56,34 @@ from repro.sparql.ast import (
     VarExpr,
 )
 
-__all__ = ["Canonicalized", "canonicalize_query"]
+__all__ = ["Canonicalized", "canonicalize_query", "is_fragment_shape"]
+
+
+def is_fragment_shape(query: Query) -> bool:
+    """True for partial-evaluation fragment queries worth canonicalizing.
+
+    Fragments are the full SELECTs partial evaluation ships per branch
+    subquery: a flat conjunctive shape — top-level BGP(s) plus optional
+    FILTERs, no modifiers and no nested scopes.  Two queries that differ
+    only in embedded constants (``?x ub:degreeFrom <univ0>`` vs
+    ``<univ3>``) share a canonical skeleton, so every endpoint compiles
+    the fragment once and replays it with new parameter bindings.
+    Bound-join requests carry top-level VALUES and stay on their own
+    (already well-keyed) path, so they are excluded here.
+    """
+    if not isinstance(query, SelectQuery):
+        return False
+    if query.aggregate is not None or query.order_by:
+        return False
+    if query.limit is not None or query.offset:
+        return False
+    has_triples = False
+    for element in query.where.elements:
+        if isinstance(element, BGP):
+            has_triples = has_triples or bool(element.triples)
+        elif not isinstance(element, Filter):
+            return False
+    return has_triples
 
 
 class Canonicalized:

@@ -1,7 +1,15 @@
 """In-memory indexed triple store and its term dictionary."""
 
 from repro.store.dictionary import TermDictionary
+from repro.store.digests import JoinDigestIndex, stable_term_hash
 from repro.store.sorted_runs import SortedRunIndex
 from repro.store.triple_store import MATCH_ORDERS, TripleStore
 
-__all__ = ["MATCH_ORDERS", "SortedRunIndex", "TermDictionary", "TripleStore"]
+__all__ = [
+    "JoinDigestIndex",
+    "MATCH_ORDERS",
+    "SortedRunIndex",
+    "TermDictionary",
+    "TripleStore",
+    "stable_term_hash",
+]

@@ -381,9 +381,13 @@ class TestEngineIntegration:
             }
             assert endpoints == {"university0", "university1"}, engine
         # Per-endpoint counters cover every request kind across engines
-        # (no stats fetches in probe mode).
+        # (no stats fetches in probe mode, no partial rounds under the
+        # default bound-join strategy).
         kinds = registry.label_values("requests_total", "kind")
-        assert kinds == set(REQUEST_KINDS) - {metrics_module.STATS}
+        assert kinds == set(REQUEST_KINDS) - {
+            metrics_module.STATS,
+            metrics_module.PARTIAL,
+        }
         # Lusail's pipeline-specific counters.
         assert registry.counter_value("check_queries_total", engine="Lusail") > 0
         assert registry.counter_value("subqueries_total", engine="Lusail") > 0
@@ -459,7 +463,7 @@ class TestCli:
             RunResult(engine="FedX", query="C2", status="timeout", virtual_ms=60000.0,
                       wall_ms=2.0, requests=900, rows_shipped=0, result_rows=0),
         ]
-        monkeypatch.setattr(experiments, "fig11_qfed", lambda: results)
+        monkeypatch.setattr(experiments, "fig11_qfed", lambda config=None: results)
         json_path = str(tmp_path / "bench.json")
         code = cli_main(["bench", "--experiment", "fig11", "--json", json_path])
         assert code == 0
